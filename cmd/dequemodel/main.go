@@ -1,0 +1,172 @@
+// Command dequemodel runs the explicit-state model checker over the two
+// deque algorithms, discharging the paper's proof obligations (Section 5)
+// on bounded instances by exhaustive enumeration.  It reports state
+// counts, linearization points checked, and the coverage of the scenario
+// figures (Figure 6 steal, Figure 16 two-sided delete contention).
+//
+// Usage:
+//
+//	dequemodel [-algo array|list|both] [-threads 2|3] [-solo]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcasdeque/internal/metrics"
+	"dcasdeque/internal/verify/model"
+)
+
+var (
+	algoFlag    = flag.String("algo", "both", "algorithm to check: array, list, both")
+	threadsFlag = flag.Int("threads", 2, "concurrent single-op threads per scenario (2 or 3)")
+	soloFlag    = flag.Bool("solo", true, "also check solo termination (the non-blocking property)")
+)
+
+func allOps(base uint64) []model.OpSpec {
+	return []model.OpSpec{
+		{Kind: model.PushLeft, Arg: base},
+		{Kind: model.PushRight, Arg: base + 1},
+		{Kind: model.PopLeft},
+		{Kind: model.PopRight},
+	}
+}
+
+// progSets enumerates all single-op thread programs for n threads.
+func progSets(n int) [][][]model.OpSpec {
+	var out [][][]model.OpSpec
+	var rec func(depth int, acc [][]model.OpSpec)
+	rec = func(depth int, acc [][]model.OpSpec) {
+		if depth == n {
+			cp := make([][]model.OpSpec, n)
+			copy(cp, acc)
+			out = append(out, cp)
+			return
+		}
+		for _, op := range allOps(uint64(10*(depth+1)) + 1) {
+			rec(depth+1, append(acc, []model.OpSpec{op}))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func main() {
+	flag.Parse()
+	if *threadsFlag < 2 || *threadsFlag > 3 {
+		fmt.Fprintln(os.Stderr, "dequemodel: -threads must be 2 or 3")
+		os.Exit(2)
+	}
+	opts := model.Options{CheckSolo: *soloFlag}
+	ok := true
+	if *algoFlag == "array" || *algoFlag == "both" {
+		ok = runArray(opts) && ok
+	}
+	if *algoFlag == "list" || *algoFlag == "both" {
+		ok = runList(opts) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func runArray(opts model.Options) bool {
+	t := metrics.NewTable("capacity", "fill", "scenarios", "states", "transitions", "linearizations", "violations")
+	allOK := true
+	for _, n := range []int{1, 2, 3} {
+		for fill := 0; fill <= n && fill <= 2; fill++ {
+			var initial []uint64
+			for i := 0; i < fill; i++ {
+				initial = append(initial, uint64(100+i))
+			}
+			var states, trans, lins, scenarios, bad int
+			for _, progs := range progSets(*threadsFlag) {
+				scenarios++
+				rep, v := model.Explore(model.NewArraySys(n, initial, progs), opts)
+				states += rep.States
+				trans += rep.Transitions
+				lins += rep.Linearized
+				if v != nil {
+					bad++
+					fmt.Fprintf(os.Stderr, "array n=%d fill=%d: %v\n", n, fill, v)
+					allOK = false
+				}
+			}
+			t.AddRow(n, fill, scenarios, states, trans, lins, bad)
+		}
+	}
+	fmt.Println("== array-based algorithm (Theorem 3.1) ==")
+	fmt.Print(t.String())
+	fmt.Println()
+	reportScenario("Figure 6 (steal of the last item)",
+		model.NewArraySys(3, []uint64{7}, [][]model.OpSpec{{{Kind: model.PopLeft}}, {{Kind: model.PopRight}}}),
+		opts, "pop-DCAS ok", "empty (steal)")
+	return allOK
+}
+
+func runList(opts model.Options) bool {
+	type start struct {
+		name   string
+		items  []uint64
+		ld, rd bool
+	}
+	starts := []start{
+		{name: "empty"},
+		{name: "one", items: []uint64{100}},
+		{name: "two", items: []uint64{100, 101}},
+		{name: "rightDeletedEmpty", rd: true},
+		{name: "leftDeletedEmpty", ld: true},
+		{name: "twoDeletedEmpty", ld: true, rd: true},
+		{name: "oneWithRightMark", items: []uint64{100}, rd: true},
+		{name: "oneWithLeftMark", items: []uint64{100}, ld: true},
+	}
+	t := metrics.NewTable("start", "scenarios", "states", "transitions", "linearizations", "violations")
+	allOK := true
+	for _, st := range starts {
+		var states, trans, lins, scenarios, bad int
+		for _, progs := range progSets(*threadsFlag) {
+			scenarios++
+			rep, v := model.Explore(model.NewListSys(st.items, st.ld, st.rd, progs), opts)
+			states += rep.States
+			trans += rep.Transitions
+			lins += rep.Linearized
+			if v != nil {
+				bad++
+				fmt.Fprintf(os.Stderr, "list start=%s: %v\n", st.name, v)
+				allOK = false
+			}
+		}
+		t.AddRow(st.name, scenarios, states, trans, lins, bad)
+	}
+	fmt.Println("== linked-list algorithm (Theorem 4.1) ==")
+	fmt.Print(t.String())
+	fmt.Println()
+	reportScenario("Figure 16 (two-sided delete contention)",
+		model.NewListSys(nil, true, true, [][]model.OpSpec{{{Kind: model.PopLeft}}, {{Kind: model.PopRight}}}),
+		opts, "deleteRight: two-null ok", "deleteLeft: two-null ok")
+	return allOK
+}
+
+// reportScenario explores one figure scenario and reports whether the
+// named outcomes were both observed.
+func reportScenario(title string, sys model.Sys, opts model.Options, want ...string) {
+	rep, v := model.Explore(sys, opts)
+	fmt.Printf("-- %s --\n", title)
+	if v != nil {
+		fmt.Printf("  VIOLATION: %v\n", v)
+		return
+	}
+	fmt.Printf("  states=%d transitions=%d terminals=%d\n", rep.States, rep.Transitions, rep.Terminals)
+	for _, w := range want {
+		seen := 0
+		for label, cnt := range rep.Events {
+			if strings.Contains(label, w) {
+				seen += cnt
+			}
+		}
+		fmt.Printf("  outcome %-32q observed in %d transitions\n", w, seen)
+	}
+	fmt.Println()
+}

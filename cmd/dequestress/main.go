@@ -1,0 +1,93 @@
+// Command dequestress runs windowed linearizability checking against the
+// real implementations for a configurable duration — the unbounded-
+// schedule complement to dequemodel's exhaustive bounded checking.
+//
+// Usage:
+//
+//	dequestress [-impl array|list|greenwald|mutex|all] [-seconds 10]
+//	            [-threads 3] [-ops 4] [-capacity 4] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcasdeque/internal/baseline/greenwald"
+	"dcasdeque/internal/baseline/mutexdeque"
+	"dcasdeque/internal/core/arraydeque"
+	"dcasdeque/internal/core/listdeque"
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/stress"
+)
+
+var (
+	implFlag    = flag.String("impl", "all", "implementation: array, list, list-dummy, list-lfrc, greenwald, mutex, all")
+	secondsFlag = flag.Int("seconds", 10, "wall-clock budget per implementation")
+	threadsFlag = flag.Int("threads", 3, "workers per window")
+	opsFlag     = flag.Int("ops", 4, "operations per worker per window")
+	capFlag     = flag.Int("capacity", 4, "bounded-deque capacity")
+	seedFlag    = flag.Uint64("seed", 1, "base RNG seed")
+)
+
+type target struct {
+	name     string
+	d        stress.Deque
+	capacity int
+	items    func() ([]uint64, error)
+}
+
+func targets() []target {
+	a := arraydeque.New(*capFlag)
+	l := listdeque.New()
+	ld := listdeque.NewDummy()
+	lr := listdeque.NewLFRC()
+	g := greenwald.New(*capFlag, nil)
+	m := mutexdeque.New(*capFlag)
+	return []target{
+		{"array", a, *capFlag, a.Items},
+		{"list", l, spec.Unbounded, l.Items},
+		{"list-dummy", ld, spec.Unbounded, ld.Items},
+		{"list-lfrc", lr, spec.Unbounded, lr.Items},
+		{"greenwald", g, *capFlag, g.Items},
+		{"mutex", m, *capFlag, m.Items},
+	}
+}
+
+func main() {
+	flag.Parse()
+	failed := false
+	for _, t := range targets() {
+		if *implFlag != "all" && *implFlag != t.name {
+			continue
+		}
+		deadline := time.Now().Add(time.Duration(*secondsFlag) * time.Second)
+		var totalWindows, totalOps, totalStates int
+		seed := *seedFlag
+		for time.Now().Before(deadline) {
+			st, err := stress.Run(t.d, stress.Config{
+				Threads:      *threadsFlag,
+				OpsPerThread: *opsFlag,
+				Windows:      200,
+				Capacity:     t.capacity,
+				Items:        t.items,
+				Seed:         seed,
+			})
+			totalWindows += st.Windows
+			totalOps += st.Ops
+			totalStates += st.StatesExplored
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: FAILED after %d windows: %v\n", t.name, totalWindows, err)
+				failed = true
+				break
+			}
+			seed++
+		}
+		fmt.Printf("%-10s %8d windows %10d ops  linearizable ✓ (%d checker states)\n",
+			t.name, totalWindows, totalOps, totalStates)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Package deque is the public API of this library: linearizable,
+// non-blocking double-ended queues based on the double-compare-and-swap
+// (DCAS) algorithms of "DCAS-Based Concurrent Deques" (Agesen, Detlefs,
+// Flood, Garthwaite, Martin, Moir, Shavit, Steele — SPAA 2000).
+//
+// Two implementations are provided, mirroring the paper's two algorithms:
+//
+//   - Array (NewArray): the bounded, array-based deque of Section 3.
+//     Fixed capacity, no per-operation allocation, returns ErrFull at
+//     capacity.
+//   - List (NewList): the unbounded, linked-list-based deque of Section 4.
+//     Nodes come from an internal lock-free arena; pushes fail with
+//     ErrFull only if that arena is exhausted (the paper's
+//     allocator-failure case).
+//
+// Both allow uninterrupted concurrent access to the two ends: operations
+// on opposite ends of a non-boundary deque synchronize on disjoint memory
+// and proceed in parallel.  A mutex-based baseline (NewMutex) with the
+// same interface is included for comparison.
+//
+// DCAS does not exist in shipping hardware; the implementations run on a
+// software DCAS emulation (see internal/dcas).  The deque algorithms
+// themselves are lock-free above that substrate, exactly as published.
+//
+// Elements of any type T are boxed through an internal slot arena so the
+// core algorithms can operate on single-word handles; the arena is
+// lock-free, so the end-to-end operations add no locking beyond the DCAS
+// emulation itself.
+package deque
+
+import "errors"
+
+// Errors returned by deque operations, mirroring the sequential
+// specification's "empty" and "full" responses (Section 2.2).
+var (
+	// ErrEmpty is returned by Pop operations on an empty deque.
+	ErrEmpty = errors.New("deque: empty")
+	// ErrFull is returned by Push operations on a full deque (Array) or
+	// when the node/slot arena is exhausted (List).
+	ErrFull = errors.New("deque: full")
+)
+
+// Deque is a linearizable double-ended queue of elements of type T.
+// Implementations in this package are safe for unrestricted concurrent
+// use by any number of goroutines on both ends.
+type Deque[T any] interface {
+	// PushLeft prepends v; it returns ErrFull if the deque is full.
+	PushLeft(v T) error
+	// PushRight appends v; it returns ErrFull if the deque is full.
+	PushRight(v T) error
+	// PopLeft removes and returns the leftmost element; it returns
+	// ErrEmpty if the deque is empty.
+	PopLeft() (T, error)
+	// PopRight removes and returns the rightmost element; it returns
+	// ErrEmpty if the deque is empty.
+	PopRight() (T, error)
+}
+
+// Option configures a deque constructor.
+type Option func(*config)
+
+type config struct {
+	globalLockDCAS bool
+	strongDCAS     bool
+	recheckIndex   bool
+	nodeReuse      bool
+	eagerDelete    bool
+	dummyNodes     bool
+	lfrc           bool
+	maxNodes       int
+}
+
+func defaultConfig() config {
+	return config{
+		strongDCAS:   true,
+		recheckIndex: true,
+		nodeReuse:    true,
+		maxNodes:     1 << 20,
+	}
+}
+
+// WithGlobalLockDCAS selects the coarse global-mutex DCAS emulation
+// instead of the default fine-grained two-location emulation.  All DCAS
+// operations on the deque then serialize; useful only for measurement.
+func WithGlobalLockDCAS() Option {
+	return func(c *config) { c.globalLockDCAS = true }
+}
+
+// WithoutStrongDCAS restricts the array deque to the weak (boolean) form
+// of DCAS, eliding the optional early-return optimization of lines 17–18
+// of the paper's Figures 2/3/30/31.  No effect on the list deque.
+func WithoutStrongDCAS() Option {
+	return func(c *config) { c.strongDCAS = false }
+}
+
+// WithoutIndexRecheck elides the optional line-7 index re-read of the
+// array algorithm.  No effect on the list deque.
+func WithoutIndexRecheck() Option {
+	return func(c *config) { c.recheckIndex = false }
+}
+
+// WithoutNodeReuse puts the list deque's node arena in gc mode: node
+// storage is never recycled during the deque's lifetime, matching the
+// paper's garbage-collection assumption exactly (at the cost of memory
+// growth proportional to total pushes).  No effect on the array deque.
+func WithoutNodeReuse() Option {
+	return func(c *config) { c.nodeReuse = false }
+}
+
+// WithEagerDelete makes list-deque pops complete their physical deletion
+// before returning (the paper's footnote 6 variant) instead of leaving it
+// to the next operation on that side.  No effect on the array deque.
+func WithEagerDelete() Option {
+	return func(c *config) { c.eagerDelete = true }
+}
+
+// WithMaxNodes bounds the list deque's node arena (default 1<<20 live
+// elements).  No effect on the array deque.
+func WithMaxNodes(n int) Option {
+	return func(c *config) { c.maxNodes = n }
+}

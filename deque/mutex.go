@@ -1,0 +1,106 @@
+package deque
+
+import (
+	"dcasdeque/internal/baseline/mutexdeque"
+	"dcasdeque/internal/spec"
+)
+
+// Mutex is the blocking baseline: a ring-buffer deque of T protected by a
+// single mutex, exposed with the same interface so applications and
+// benchmarks can swap implementations.  Create with NewMutex.
+type Mutex[T any] struct {
+	core *mutexdeque.Deque
+	// slotted exactly like the DCAS deques so comparisons measure
+	// synchronization, not boxing strategy.
+	slots []T
+	free  chan int
+}
+
+// NewMutex returns an empty mutex-based deque with the given capacity.
+func NewMutex[T any](capacity int) *Mutex[T] {
+	if capacity < 1 {
+		panic("deque: capacity must be ≥ 1")
+	}
+	// Slot headroom beyond capacity: pushes box before discovering the
+	// deque is full, so concurrent losing pushes need slots too.
+	nslots := 2*capacity + 64
+	m := &Mutex[T]{
+		core:  mutexdeque.New(capacity),
+		slots: make([]T, nslots),
+		free:  make(chan int, nslots),
+	}
+	for i := 0; i < nslots; i++ {
+		m.free <- i
+	}
+	return m
+}
+
+// Cap reports the deque's capacity.
+func (d *Mutex[T]) Cap() int { return d.core.Cap() }
+
+func (d *Mutex[T]) box(v T) (uint64, bool) {
+	select {
+	case i := <-d.free:
+		d.slots[i] = v
+		return uint64(i) + 1, true
+	default:
+		return 0, false
+	}
+}
+
+func (d *Mutex[T]) unbox(h uint64) T {
+	i := int(h - 1)
+	v := d.slots[i]
+	var zero T
+	d.slots[i] = zero
+	d.free <- i
+	return v
+}
+
+// PushLeft implements Deque.
+func (d *Mutex[T]) PushLeft(v T) error {
+	h, ok := d.box(v)
+	if !ok {
+		return ErrFull
+	}
+	if d.core.PushLeft(h) == spec.Full {
+		d.unbox(h)
+		return ErrFull
+	}
+	return nil
+}
+
+// PushRight implements Deque.
+func (d *Mutex[T]) PushRight(v T) error {
+	h, ok := d.box(v)
+	if !ok {
+		return ErrFull
+	}
+	if d.core.PushRight(h) == spec.Full {
+		d.unbox(h)
+		return ErrFull
+	}
+	return nil
+}
+
+// PopLeft implements Deque.
+func (d *Mutex[T]) PopLeft() (T, error) {
+	h, r := d.core.PopLeft()
+	if r == spec.Empty {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return d.unbox(h), nil
+}
+
+// PopRight implements Deque.
+func (d *Mutex[T]) PopRight() (T, error) {
+	h, r := d.core.PopRight()
+	if r == spec.Empty {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return d.unbox(h), nil
+}
+
+var _ Deque[int] = (*Mutex[int])(nil)

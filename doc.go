@@ -1,0 +1,13 @@
+// Package dcasdeque is a reproduction of "DCAS-Based Concurrent Deques"
+// (Agesen, Detlefs, Flood, Garthwaite, Martin, Moir, Shavit, Steele —
+// SPAA 2000): linearizable non-blocking double-ended queues built on the
+// double-compare-and-swap primitive, together with the substrates,
+// baselines, verification tooling and benchmark harness needed to
+// reproduce the paper end to end.
+//
+// The public API lives in the deque subpackage; see README.md for an
+// overview, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// per-figure reproduction record.  The root package exists to host the
+// module documentation and the top-level benchmark suite (bench_test.go),
+// whose benchmarks B1–B8 regenerate the paper's performance claims.
+package dcasdeque

@@ -1,0 +1,119 @@
+// Pipeline: a multi-stage processing pipeline with priority re-queueing,
+// built on the unbounded list deque.
+//
+// The deque serves as the hand-off buffer between producer and consumer
+// stages.  Ordinary items flow FIFO (pushed right, popped left), but the
+// consumer can bounce an item back with *high* priority by pushing it on
+// the LEFT — it will be retried before everything else.  A plain FIFO
+// queue (or Go channel) cannot express this without extra machinery; a
+// deque does it natively, which is exactly why deques "involve all the
+// intricacies of LIFO stacks and FIFO queues" (Section 1).
+//
+// The workload simulates message processing with transient failures: each
+// message needs up to three attempts; failed messages are re-queued at
+// the front so their end-to-end latency stays bounded.
+//
+// Run with: go run ./examples/pipeline [-messages 50000] [-consumers 3]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcasdeque/deque"
+)
+
+type message struct {
+	ID       int
+	Attempts int
+	Payload  uint64
+}
+
+var (
+	messagesFlag  = flag.Int("messages", 50000, "messages to process")
+	consumersFlag = flag.Int("consumers", 3, "consumer goroutines")
+)
+
+func main() {
+	flag.Parse()
+	n := *messagesFlag
+	consumers := *consumersFlag
+
+	q := deque.NewList[message]()
+	var (
+		processed atomic.Int64
+		retried   atomic.Int64
+		checksum  atomic.Uint64
+		produced  atomic.Int64
+	)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	// Producer: ordinary traffic enters on the right (FIFO).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := 0; i < n; i++ {
+			m := message{ID: i, Payload: rng.Uint64() % 1000}
+			if err := q.PushRight(m); err != nil {
+				log.Fatalf("producer: %v", err)
+			}
+			produced.Add(1)
+		}
+	}()
+
+	// Consumers: take from the left; transient failures re-queue on the
+	// LEFT with incremented attempt count, jumping ahead of new traffic.
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 99))
+			for {
+				m, err := q.PopLeft()
+				if err != nil {
+					if errors.Is(err, deque.ErrEmpty) {
+						if processed.Load() == int64(n) {
+							return
+						}
+						runtime.Gosched()
+						continue
+					}
+					log.Fatalf("consumer %d: %v", c, err)
+				}
+				// Simulate a transient failure on 20% of first and second
+				// attempts; the third attempt always succeeds.
+				if m.Attempts < 2 && rng.IntN(100) < 20 {
+					m.Attempts++
+					retried.Add(1)
+					if err := q.PushLeft(m); err != nil {
+						log.Fatalf("requeue: %v", err)
+					}
+					continue
+				}
+				checksum.Add(m.Payload)
+				processed.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("messages=%d consumers=%d\n", n, consumers)
+	fmt.Printf("processed=%d retried=%d checksum=%d\n",
+		processed.Load(), retried.Load(), checksum.Load())
+	fmt.Printf("elapsed=%v (%.0f msgs/s)\n",
+		elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	if processed.Load() != int64(n) {
+		log.Fatal("lost messages")
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: basic use of the public deque API — both the bounded
+// array-based deque and the unbounded list-based deque, the four
+// operations, and the boundary errors.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"dcasdeque/deque"
+)
+
+func main() {
+	// The bounded array-based deque of the paper's Section 3.
+	d := deque.NewArray[string](4)
+
+	// The Section 2.2 example run: pushRight(1); pushLeft(2); pushRight(3).
+	must(d.PushRight("one"))
+	must(d.PushLeft("two"))
+	must(d.PushRight("three"))
+
+	v, err := d.PopLeft()
+	must(err)
+	fmt.Println("popLeft :", v) // two
+
+	v, err = d.PopLeft()
+	must(err)
+	fmt.Println("popLeft :", v) // one
+
+	v, err = d.PopRight()
+	must(err)
+	fmt.Println("popRight:", v) // three
+
+	// Boundary cases return sentinel errors rather than blocking.
+	if _, err := d.PopLeft(); errors.Is(err, deque.ErrEmpty) {
+		fmt.Println("pop on empty deque -> deque.ErrEmpty")
+	}
+	for i := 0; ; i++ {
+		if err := d.PushRight(fmt.Sprintf("item-%d", i)); errors.Is(err, deque.ErrFull) {
+			fmt.Printf("push #%d on full deque -> deque.ErrFull\n", i)
+			break
+		}
+	}
+
+	// The unbounded list-based deque of Section 4 — same interface, any
+	// element type, no capacity planning.
+	type job struct {
+		ID       int
+		Priority string
+	}
+	q := deque.NewList[job]()
+	must(q.PushRight(job{1, "low"}))
+	must(q.PushLeft(job{2, "high"})) // urgent work jumps the queue
+	j, err := q.PopLeft()
+	must(err)
+	fmt.Printf("next job: %+v\n", j)
+
+	// Both deques are safe for unrestricted concurrent use from any
+	// number of goroutines on both ends; see examples/worksteal and
+	// examples/pipeline for concurrent patterns.
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Slidingwindow: the classic monotonic-deque algorithm for sliding-window
+// maxima, expressed over the public deque API.
+//
+// This example is single-threaded; it exists to show that the deque's
+// *sequential* semantics (Section 2.2 of the paper) support the textbook
+// algorithmic uses of deques — here, computing the maximum of every
+// window of k consecutive samples in O(1) amortized time per sample by
+// maintaining a deque of candidate indices that is popped from BOTH ends:
+// stale indices leave on the left, dominated candidates leave on the
+// right.
+//
+// The output is checked against a brute-force recomputation.
+//
+// Run with: go run ./examples/slidingwindow [-samples 200000] [-window 50]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"dcasdeque/deque"
+)
+
+var (
+	samplesFlag = flag.Int("samples", 200000, "number of samples")
+	windowFlag  = flag.Int("window", 50, "window size k")
+)
+
+func main() {
+	flag.Parse()
+	n, k := *samplesFlag, *windowFlag
+	if k < 1 || n < k {
+		log.Fatal("need samples ≥ window ≥ 1")
+	}
+
+	rng := rand.New(rand.NewPCG(42, 7))
+	data := make([]int, n)
+	for i := range data {
+		data[i] = rng.IntN(1_000_000)
+	}
+
+	start := time.Now()
+	maxima := slidingMax(data, k)
+	elapsed := time.Since(start)
+
+	// Verify a sample of windows against brute force.
+	for _, w := range []int{0, 1, n/2 - k, n - k} {
+		if w < 0 {
+			continue
+		}
+		best := data[w]
+		for _, v := range data[w : w+k] {
+			if v > best {
+				best = v
+			}
+		}
+		if maxima[w] != best {
+			log.Fatalf("window %d: got %d, want %d", w, maxima[w], best)
+		}
+	}
+	fmt.Printf("samples=%d window=%d windows=%d\n", n, k, len(maxima))
+	fmt.Printf("first maxima: %v\n", maxima[:min(8, len(maxima))])
+	fmt.Printf("elapsed=%v (%.0f samples/s) — all spot checks OK\n",
+		elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+}
+
+// slidingMax returns max(data[i:i+k]) for every window start i, using a
+// monotonically decreasing deque of candidate indices.
+func slidingMax(data []int, k int) []int {
+	d := deque.NewList[int]() // holds indices into data
+	out := make([]int, 0, len(data)-k+1)
+	for i, v := range data {
+		// Dominated candidates can never be a window maximum: pop them
+		// from the right before inserting i.
+		for {
+			j, err := d.PopRight()
+			if errors.Is(err, deque.ErrEmpty) {
+				break
+			}
+			if data[j] >= v {
+				// Still useful; put it back and stop.
+				if err := d.PushRight(j); err != nil {
+					log.Fatal(err)
+				}
+				break
+			}
+		}
+		if err := d.PushRight(i); err != nil {
+			log.Fatal(err)
+		}
+		// Indices that slid out of the window leave on the left.
+		for {
+			j, err := d.PopLeft()
+			if err != nil {
+				log.Fatal("deque unexpectedly empty")
+			}
+			if j > i-k {
+				if err := d.PushLeft(j); err != nil {
+					log.Fatal(err)
+				}
+				break
+			}
+		}
+		if i >= k-1 {
+			j, err := d.PopLeft()
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, data[j])
+			if err := d.PushLeft(j); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return out
+}

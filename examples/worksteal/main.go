@@ -1,0 +1,172 @@
+// Worksteal: a miniature work-stealing scheduler built on the public
+// deque API — the application that motivates the paper ("deques ...
+// currently used in load balancing algorithms [4]", after Arora, Blumofe
+// and Plaxton).
+//
+// Each worker owns a deque of tasks.  A worker treats its own deque as a
+// LIFO stack on the right end (good locality: the most recently spawned —
+// smallest, hottest — task runs first) while idle workers steal from the
+// left end of a victim's deque (taking the oldest — largest — task,
+// minimizing steal frequency).  Unlike the specialized ABP deque, the
+// DCAS deque permits this with no owner restrictions: any worker may
+// operate on any deque from either end.
+//
+// The computation is a parallel recursive sum over a synthetic binary
+// tree; the result is checked against the closed form.
+//
+// Run with: go run ./examples/worksteal [-workers 4] [-depth 18]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcasdeque/deque"
+)
+
+// task is a subtree to sum: a node index in an implicit perfect binary
+// tree plus the remaining depth below it.
+type task struct {
+	node  uint64
+	depth int
+}
+
+var (
+	workersFlag = flag.Int("workers", 4, "number of workers")
+	depthFlag   = flag.Int("depth", 18, "task-tree depth (2^depth leaves)")
+)
+
+// Shared scheduler state.
+var (
+	sum     atomic.Uint64 // Σ leaf values
+	pending atomic.Int64  // tasks not yet fully processed
+	steals  atomic.Uint64
+)
+
+func main() {
+	flag.Parse()
+	nWorkers := *workersFlag
+	depth := *depthFlag
+
+	// One bounded deque per worker.  Capacity is comfortable: a worker's
+	// own stack depth is at most the tree depth, plus stolen surplus.
+	deques := make([]*deque.Array[task], nWorkers)
+	for i := range deques {
+		deques[i] = deque.NewArray[task](1024)
+	}
+	if err := deques[0].PushRight(task{node: 1, depth: depth}); err != nil {
+		log.Fatal(err)
+	}
+
+	pending.Store(1)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0xdeca5))
+			my := deques[w]
+			for {
+				// Own work first: LIFO from the right.
+				t, err := my.PopRight()
+				if err != nil {
+					if pending.Load() == 0 {
+						return // global quiescence: all tasks done
+					}
+					// Steal: FIFO from the left of a random victim.
+					victim := rng.IntN(nWorkers)
+					if victim == w {
+						runtime.Gosched()
+						continue
+					}
+					t, err = deques[victim].PopLeft()
+					if err != nil {
+						runtime.Gosched()
+						continue
+					}
+					steals.Add(1)
+				}
+				if t.depth == 0 {
+					// Leaf: "execute" it (here: add its value).
+					sum.Add(leafValue(t.node))
+					pending.Add(-1)
+					continue
+				}
+				// Interior node: spawn both children.
+				pending.Add(2)
+				spawn(my, task{node: 2 * t.node, depth: t.depth - 1})
+				spawn(my, task{node: 2*t.node + 1, depth: t.depth - 1})
+				pending.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	leaves := uint64(1) << uint(depth)
+	// Leaves occupy node indices [2^depth, 2^(depth+1)); leafValue(n) = n,
+	// so the expected sum is the arithmetic series over that range:
+	// leaves·(3·leaves−1)/2.
+	want := leaves * (3*leaves - 1) / 2
+	fmt.Printf("workers=%d depth=%d leaves=%d\n", nWorkers, depth, leaves)
+	fmt.Printf("sum=%d (expected %d, %s)\n", sum.Load(), want, okStr(sum.Load() == want))
+	fmt.Printf("steals=%d elapsed=%v (%.0f tasks/s)\n",
+		steals.Load(), elapsed.Round(time.Millisecond),
+		float64(2*leaves-1)/elapsed.Seconds())
+	if sum.Load() != want {
+		log.Fatal("result mismatch")
+	}
+}
+
+// spawn pushes a task onto the worker's own right end; if the deque is
+// momentarily full it executes older local work inline to make room.
+func spawn(my *deque.Array[task], t task) {
+	for {
+		err := my.PushRight(t)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, deque.ErrFull) {
+			log.Fatal(err)
+		}
+		// Full: run one of our own tasks inline (a real scheduler's
+		// standard overflow response), then retry.
+		if t2, err := my.PopRight(); err == nil {
+			execInline(my, t2)
+		}
+	}
+}
+
+// execInline evaluates a whole subtree without using the deque.
+func execInline(my *deque.Array[task], t task) {
+	// Inline execution is rare, and recursion depth is bounded by the
+	// remaining tree depth.
+	if t.depth == 0 {
+		sum.Add(leafValue(t.node))
+		pending.Add(-1)
+		return
+	}
+	pending.Add(2)
+	execInline(my, task{node: 2 * t.node, depth: t.depth - 1})
+	execInline(my, task{node: 2*t.node + 1, depth: t.depth - 1})
+	pending.Add(-1)
+}
+
+// leafValue is the synthetic "work" of a leaf task.
+func leafValue(node uint64) uint64 { return node }
+
+func okStr(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "MISMATCH"
+}

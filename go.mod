@@ -1,0 +1,3 @@
+module dcasdeque
+
+go 1.22

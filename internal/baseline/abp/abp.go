@@ -1,0 +1,136 @@
+// Package abp implements the CAS-only work-stealing deque of Arora,
+// Blumofe and Plaxton, "Thread scheduling for multiprogrammed
+// multiprocessors" (SPAA 1998) — reference [4] of the paper and its
+// principal related-work comparison: "In this application, one side of the
+// deque is accessed by only a single processor, and the other side allows
+// only pop operations.  Arora et al. exploited these restrictions to
+// create a non-blocking implementation that requires only CAS operations."
+//
+// The structure is asymmetric by design:
+//
+//   - PushBottom and PopBottom may be called only by the owner;
+//   - PopTop (steal) may be called by any thread, and may return Abort
+//     when it loses a race (callers retry or move on, as thieves do).
+//
+// The top index is paired with a version tag in one CAS-able word, which
+// is how ABP avoids the ABA problem that DCAS renders moot.  Benchmarks
+// (experiment B4) compare this specialist against the paper's general
+// deques on the work-stealing workload that motivates both.
+package abp
+
+import "sync/atomic"
+
+// Result describes the outcome of a PopTop.
+type Result uint8
+
+// PopTop outcomes.
+const (
+	Okay Result = iota
+	Empty
+	// Abort means the steal lost a race with another thief or the owner;
+	// the deque may or may not be empty.
+	Abort
+)
+
+// Deque is an ABP work-stealing deque of 64-bit items.  Create with New.
+type Deque struct {
+	age atomic.Uint64 // tag<<32 | top
+	bot atomic.Int64
+	buf []atomic.Uint64
+}
+
+// New returns an empty deque with the given capacity (≥ 1).
+func New(capacity int) *Deque {
+	if capacity < 1 {
+		panic("abp: capacity must be ≥ 1")
+	}
+	return &Deque{buf: make([]atomic.Uint64, capacity)}
+}
+
+// Cap reports the deque's capacity.
+func (d *Deque) Cap() int { return len(d.buf) }
+
+func pack(tag, top uint32) uint64       { return uint64(tag)<<32 | uint64(top) }
+func unpack(w uint64) (tag, top uint32) { return uint32(w >> 32), uint32(w) }
+
+// PushBottom appends v at the bottom.  Owner only.  It reports false when
+// the deque is full.
+//
+// One extension over the textbook algorithm: when the buffer's high end is
+// exhausted but every item has been stolen (top == bot == capacity), the
+// owner resets both indices and reuses the buffer.  Textbook ABP only
+// resets inside PopBottom, which would strand a push-only owner forever
+// once thieves drain the deque.  The reset is safe because bot is lowered
+// before age: thieves observe bot ≤ top (empty) throughout, and age can
+// change under us only through a steal, which requires bot > top.
+func (d *Deque) PushBottom(v uint64) bool {
+	localBot := d.bot.Load()
+	if int(localBot) == len(d.buf) {
+		old := d.age.Load()
+		tag, top := unpack(old)
+		if int64(top) != localBot {
+			return false // genuinely full: unstolen items remain
+		}
+		d.bot.Store(0)
+		d.age.Store(pack(tag+1, 0))
+		localBot = 0
+	}
+	d.buf[localBot].Store(v)
+	d.bot.Store(localBot + 1)
+	return true
+}
+
+// PopTop steals the top item.  Any thread.
+func (d *Deque) PopTop() (uint64, Result) {
+	oldAge := d.age.Load()
+	localBot := d.bot.Load()
+	_, top := unpack(oldAge)
+	if localBot <= int64(top) {
+		return 0, Empty
+	}
+	v := d.buf[top].Load()
+	tag, _ := unpack(oldAge)
+	newAge := pack(tag, top+1)
+	if d.age.CompareAndSwap(oldAge, newAge) {
+		return v, Okay
+	}
+	return 0, Abort
+}
+
+// PopBottom removes the bottom item.  Owner only.
+func (d *Deque) PopBottom() (uint64, Result) {
+	localBot := d.bot.Load()
+	if localBot == 0 {
+		return 0, Empty
+	}
+	localBot--
+	d.bot.Store(localBot)
+	v := d.buf[localBot].Load()
+	oldAge := d.age.Load()
+	tag, top := unpack(oldAge)
+	if localBot > int64(top) {
+		return v, Okay
+	}
+	// The deque had at most one item; contend with thieves for it.
+	d.bot.Store(0)
+	newAge := pack(tag+1, 0)
+	if localBot == int64(top) {
+		if d.age.CompareAndSwap(oldAge, newAge) {
+			return v, Okay
+		}
+	}
+	// A thief got it; reset the age and report empty.
+	d.age.Store(newAge)
+	return 0, Empty
+}
+
+// Size reports an instantaneous (racy) item count, for load-balancing
+// heuristics.
+func (d *Deque) Size() int {
+	_, top := unpack(d.age.Load())
+	n := d.bot.Load() - int64(top)
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

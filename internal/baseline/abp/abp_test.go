@@ -1,0 +1,200 @@
+package abp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestOwnerLIFO(t *testing.T) {
+	d := New(16)
+	for i := uint64(1); i <= 10; i++ {
+		if !d.PushBottom(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := uint64(10); i >= 1; i-- {
+		v, r := d.PopBottom()
+		if r != Okay || v != i {
+			t.Fatalf("popBottom = (%d, %v), want %d", v, r, i)
+		}
+	}
+	if _, r := d.PopBottom(); r != Empty {
+		t.Fatalf("popBottom on empty = %v", r)
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New(16)
+	for i := uint64(1); i <= 5; i++ {
+		d.PushBottom(i)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		v, r := d.PopTop()
+		if r != Okay || v != i {
+			t.Fatalf("popTop = (%d, %v), want %d", v, r, i)
+		}
+	}
+	if _, r := d.PopTop(); r != Empty {
+		t.Fatalf("popTop on empty = %v", r)
+	}
+}
+
+func TestFullReportsFalse(t *testing.T) {
+	d := New(2)
+	if !d.PushBottom(1) || !d.PushBottom(2) {
+		t.Fatal("pushes failed")
+	}
+	if d.PushBottom(3) {
+		t.Fatal("push into full deque succeeded")
+	}
+	if d.Cap() != 2 {
+		t.Fatalf("Cap = %d", d.Cap())
+	}
+}
+
+// TestLastItemContention: owner and a thief race for the single item;
+// exactly one side wins.
+func TestLastItemContention(t *testing.T) {
+	for round := 0; round < 3000; round++ {
+		d := New(4)
+		d.PushBottom(42)
+		var ownerV, thiefV uint64
+		var ownerR, thiefR Result
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); ownerV, ownerR = d.PopBottom() }()
+		go func() {
+			defer wg.Done()
+			for {
+				thiefV, thiefR = d.PopTop()
+				if thiefR != Abort {
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+		wg.Wait()
+		wins := 0
+		if ownerR == Okay {
+			wins++
+			if ownerV != 42 {
+				t.Fatalf("owner popped %d", ownerV)
+			}
+		}
+		if thiefR == Okay {
+			wins++
+			if thiefV != 42 {
+				t.Fatalf("thief stole %d", thiefV)
+			}
+		}
+		if wins != 1 {
+			t.Fatalf("round %d: %d winners (owner %v, thief %v)", round, wins, ownerR, thiefR)
+		}
+	}
+}
+
+// TestConcurrentStealsUnique: many thieves against a producing owner;
+// every value must be taken exactly once.
+func TestConcurrentStealsUnique(t *testing.T) {
+	const (
+		items   = 20000
+		thieves = 4
+	)
+	d := New(256)
+	var got sync.Map
+	var taken atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, r := d.PopTop()
+				if r == Okay {
+					if _, dup := got.LoadOrStore(v, true); dup {
+						panic("value stolen twice")
+					}
+					taken.Add(1)
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+	// Owner: produce and occasionally consume its own bottom.  When the
+	// deque is full the owner executes its own tasks, as a real
+	// work-stealing scheduler does.
+	for i := uint64(1); i <= items; i++ {
+		for !d.PushBottom(i) {
+			if v, r := d.PopBottom(); r == Okay {
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Fatal("value popped twice")
+				}
+				taken.Add(1)
+			}
+			runtime.Gosched()
+		}
+		if i%5 == 0 {
+			if v, r := d.PopBottom(); r == Okay {
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Fatal("value popped twice")
+				}
+				taken.Add(1)
+			}
+		}
+	}
+	// Drain the rest as the owner.
+	for {
+		v, r := d.PopBottom()
+		if r != Okay {
+			// A thief may still hold the last item; spin until all are out.
+			if taken.Load() == items {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		if _, dup := got.LoadOrStore(v, true); dup {
+			t.Fatal("value popped twice")
+		}
+		taken.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	if taken.Load() != items {
+		t.Fatalf("%d values taken, want %d", taken.Load(), items)
+	}
+}
+
+func TestSizeHeuristic(t *testing.T) {
+	d := New(8)
+	if d.Size() != 0 {
+		t.Fatal("fresh deque has non-zero size")
+	}
+	d.PushBottom(1)
+	d.PushBottom(2)
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", d.Size())
+	}
+	d.PopTop()
+	if d.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", d.Size())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,159 @@
+// Package greenwald reconstructs the style of Greenwald's first
+// array-based DCAS deque ([16], pages 196–197 of his thesis), the
+// algorithm the paper critiques in Section 1.1: it keeps "the two deque
+// end pointers in the same memory word, and DCAS-ing on it and a second
+// word containing a value".
+//
+// Because every operation — on either end — must DCAS the single packed
+// indices word, left-side and right-side operations always conflict: the
+// design "prevents concurrent access to the two deque ends".  That is
+// exactly the restriction the paper's array deque removes, and the
+// property benchmark B2 measures.  (Packing both indices into one word
+// also "limits applicability by cutting the index range": here each index
+// gets 24 bits and the item count 16, versus a full word per index in the
+// paper's algorithm.)
+//
+// Greenwald's thesis code is not reproduced verbatim (the source is not in
+// the paper); this reconstruction preserves the defining structure — one
+// packed (L, R, count) word, one DCAS per operation over (indices, cell) —
+// and is itself linearizable, so comparisons measure the architecture, not
+// bugs.
+package greenwald
+
+import (
+	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/spec"
+)
+
+// Null is the distinguished empty-cell word.
+const Null uint64 = 0
+
+const (
+	idxBits  = 24
+	idxMask  = 1<<idxBits - 1
+	cntShift = 2 * idxBits
+	// MaxCap is the largest representable capacity (count field is 16
+	// bits; indices 24 bits).
+	MaxCap = 1<<16 - 1
+)
+
+// Deque is a DCAS deque with both end indices packed into one word.
+// All methods are safe for concurrent use.  Create with New.
+type Deque struct {
+	prov dcas.Provider
+	n    uint64
+	idx  dcas.Loc // count<<48 | l<<24 | r
+	s    []dcas.Loc
+}
+
+// New returns an empty deque with the given capacity (1 ≤ capacity ≤
+// MaxCap).
+func New(capacity int, prov dcas.Provider) *Deque {
+	if capacity < 1 || capacity > MaxCap {
+		panic("greenwald: capacity out of range")
+	}
+	if prov == nil {
+		prov = dcas.Default()
+	}
+	d := &Deque{prov: prov, n: uint64(capacity), s: make([]dcas.Loc, capacity)}
+	d.idx.Init(pack(0, uint64(1)%d.n, 0))
+	return d
+}
+
+// Cap reports the deque's capacity.
+func (d *Deque) Cap() int { return int(d.n) }
+
+func pack(l, r, count uint64) uint64 {
+	return count<<cntShift | l<<idxBits | r
+}
+
+func unpack(w uint64) (l, r, count uint64) {
+	return (w >> idxBits) & idxMask, w & idxMask, w >> cntShift
+}
+
+// PushRight appends v (non-zero), or reports Full.
+func (d *Deque) PushRight(v uint64) spec.Result {
+	if v == Null {
+		panic("greenwald: cannot push the null value")
+	}
+	for {
+		w := d.idx.Load()
+		l, r, count := unpack(w)
+		if count == d.n {
+			return spec.Full
+		}
+		nw := pack(l, (r+1)%d.n, count+1)
+		if d.prov.DCAS(&d.idx, &d.s[r], w, Null, nw, v) {
+			return spec.Okay
+		}
+	}
+}
+
+// PushLeft prepends v (non-zero), or reports Full.
+func (d *Deque) PushLeft(v uint64) spec.Result {
+	if v == Null {
+		panic("greenwald: cannot push the null value")
+	}
+	for {
+		w := d.idx.Load()
+		l, r, count := unpack(w)
+		if count == d.n {
+			return spec.Full
+		}
+		nw := pack((l+d.n-1)%d.n, r, count+1)
+		if d.prov.DCAS(&d.idx, &d.s[l], w, Null, nw, v) {
+			return spec.Okay
+		}
+	}
+}
+
+// PopRight removes and returns the rightmost item, or reports Empty.
+func (d *Deque) PopRight() (uint64, spec.Result) {
+	for {
+		w := d.idx.Load()
+		l, r, count := unpack(w)
+		if count == 0 {
+			return 0, spec.Empty
+		}
+		t := (r + d.n - 1) % d.n
+		v := d.s[t].Load()
+		if v == Null {
+			continue // cell not yet consistent with the indices word; retry
+		}
+		nw := pack(l, t, count-1)
+		if d.prov.DCAS(&d.idx, &d.s[t], w, v, nw, Null) {
+			return v, spec.Okay
+		}
+	}
+}
+
+// PopLeft removes and returns the leftmost item, or reports Empty.
+func (d *Deque) PopLeft() (uint64, spec.Result) {
+	for {
+		w := d.idx.Load()
+		l, r, count := unpack(w)
+		if count == 0 {
+			return 0, spec.Empty
+		}
+		t := (l + 1) % d.n
+		v := d.s[t].Load()
+		if v == Null {
+			continue
+		}
+		nw := pack(t, r, count-1)
+		if d.prov.DCAS(&d.idx, &d.s[t], w, v, nw, Null) {
+			return v, spec.Okay
+		}
+	}
+}
+
+// Items returns the current contents left to right.  Quiescent use only.
+func (d *Deque) Items() ([]uint64, error) {
+	w := d.idx.Load()
+	l, _, count := unpack(w)
+	out := make([]uint64, 0, count)
+	for i := uint64(1); i <= count; i++ {
+		out = append(out, d.s[(l+i)%d.n].Load())
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+// Package mutexdeque is the blocking baseline: a circular-buffer deque
+// protected by a single mutex.  It provides the same sequential semantics
+// as the paper's deques (Section 2.2) but uses mutual exclusion, which is
+// exactly what non-blocking algorithms exist to avoid — a stalled holder
+// blocks every other processor.  Benchmarks compare the DCAS deques
+// against it (experiments B2, B3).
+package mutexdeque
+
+import (
+	"sync"
+
+	"dcasdeque/internal/spec"
+)
+
+// Deque is a mutex-protected bounded deque.  All methods are safe for
+// concurrent use.  Create with New.
+type Deque struct {
+	mu    sync.Mutex
+	buf   []uint64
+	head  int // index of leftmost item
+	count int
+}
+
+// New returns an empty deque with the given capacity (≥ 1).
+func New(capacity int) *Deque {
+	if capacity < 1 {
+		panic("mutexdeque: capacity must be ≥ 1")
+	}
+	return &Deque{buf: make([]uint64, capacity)}
+}
+
+// Cap reports the deque's capacity.
+func (d *Deque) Cap() int { return len(d.buf) }
+
+// PushLeft prepends v, or reports Full.
+func (d *Deque) PushLeft(v uint64) spec.Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == len(d.buf) {
+		return spec.Full
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.count++
+	return spec.Okay
+}
+
+// PushRight appends v, or reports Full.
+func (d *Deque) PushRight(v uint64) spec.Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == len(d.buf) {
+		return spec.Full
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = v
+	d.count++
+	return spec.Okay
+}
+
+// PopLeft removes and returns the leftmost item, or reports Empty.
+func (d *Deque) PopLeft() (uint64, spec.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0, spec.Empty
+	}
+	v := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.count--
+	return v, spec.Okay
+}
+
+// PopRight removes and returns the rightmost item, or reports Empty.
+func (d *Deque) PopRight() (uint64, spec.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0, spec.Empty
+	}
+	v := d.buf[(d.head+d.count-1)%len(d.buf)]
+	d.count--
+	return v, spec.Okay
+}
+
+// Items returns the current contents left to right (for test snapshots).
+func (d *Deque) Items() ([]uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]uint64, 0, d.count)
+	for i := 0; i < d.count; i++ {
+		out = append(out, d.buf[(d.head+i)%len(d.buf)])
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package mutexdeque
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/stress"
+)
+
+func TestRandomDifferential(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		rng := rand.New(rand.NewPCG(uint64(n), 9))
+		d := New(n)
+		ref := spec.New(n)
+		next := uint64(1)
+		for step := 0; step < 5000; step++ {
+			switch rng.IntN(4) {
+			case 0:
+				if got, want := d.PushLeft(next), ref.PushLeft(next); got != want {
+					t.Fatalf("n=%d step %d: pushLeft %v want %v", n, step, got, want)
+				}
+				next++
+			case 1:
+				if got, want := d.PushRight(next), ref.PushRight(next); got != want {
+					t.Fatalf("n=%d step %d: pushRight %v want %v", n, step, got, want)
+				}
+				next++
+			case 2:
+				gv, gr := d.PopLeft()
+				wv, wr := ref.PopLeft()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					t.Fatalf("n=%d step %d: popLeft (%d,%v) want (%d,%v)", n, step, gv, gr, wv, wr)
+				}
+			case 3:
+				gv, gr := d.PopRight()
+				wv, wr := ref.PopRight()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					t.Fatalf("n=%d step %d: popRight (%d,%v) want (%d,%v)", n, step, gv, gr, wv, wr)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearizableUnderStress(t *testing.T) {
+	d := New(3)
+	if _, err := stress.Run(d, stress.Config{
+		Threads: 3, OpsPerThread: 4, Windows: 100, Capacity: 3, Items: d.Items, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,270 @@
+// Package arraydeque implements the array-based non-blocking deque of
+// Section 3 of "DCAS-Based Concurrent Deques" (Agesen et al., SPAA 2000).
+//
+// The deque is a circular array S[0..N-1] with two index counters L and R.
+// L and R always point at the next location into which a value can be
+// inserted from the left and right respectively; the deque's items occupy
+// the cells strictly between L and R (circularly).  The key idea of the
+// algorithm is that the empty and full boundary cases are detected not by
+// comparing L and R — whose relative order inverts as the deque fills
+// (Figure 8) — but by DCAS-validating the combination of one end pointer
+// and the content of the cell next to it:
+//
+//   - the deque is empty when the cell inward of an end pointer is null;
+//   - the deque is full when the cell an end pointer addresses is non-null.
+//
+// Each operation synchronizes on exactly one end pointer plus one cell, so
+// operations on opposite ends of a non-boundary deque touch disjoint
+// location pairs and proceed concurrently — the paper's "uninterrupted
+// concurrent access to both ends".
+//
+// The implementation is a line-by-line transliteration of Figures 2
+// (popRight), 3 (pushRight), 30 (popLeft) and 31 (pushLeft).  The two
+// optional optimizations the paper discusses are selectable:
+//
+//   - the index re-read at line 7 of each operation (Option RecheckIndex);
+//   - the strong-DCAS early returns at lines 17–18 of the pops and pushes
+//     (Option StrongDCAS).  With StrongDCAS disabled the algorithm uses
+//     only the weak boolean form of DCAS, exactly as the paper notes:
+//     "eliminating lines 17-18 yields an algorithm that does not require
+//     the stronger version of DCAS".
+//
+// Values are non-zero 64-bit words; 0 is the distinguished null.
+package arraydeque
+
+import (
+	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/spec"
+)
+
+// Null is the distinguished empty-cell word ("0" in the paper's figures).
+const Null uint64 = 0
+
+// Deque is an array-based bounded deque.  All methods are safe for
+// concurrent use.  Create with New.
+type Deque struct {
+	prov dcas.Provider
+	n    uint64
+	r    dcas.Loc
+	l    dcas.Loc
+	s    []dcas.Loc
+
+	recheckIndex bool
+	strongDCAS   bool
+}
+
+// Option configures a Deque.
+type Option func(*options)
+
+type options struct {
+	prov         dcas.Provider
+	recheckIndex bool
+	strongDCAS   bool
+}
+
+// WithProvider selects the DCAS emulation (default: a fresh dcas.TwoLock).
+func WithProvider(p dcas.Provider) Option {
+	return func(o *options) { o.prov = p }
+}
+
+// WithRecheckIndex enables or disables the line-7 optimization of
+// Figures 2/3/30/31: re-reading the end index before attempting the
+// boundary-confirming DCAS.  The paper includes it "under the assumption
+// that the common case is that a null value is read because another
+// processor 'stole' the item"; disabling it is also correct.  Default on.
+func WithRecheckIndex(on bool) Option {
+	return func(o *options) { o.recheckIndex = on }
+}
+
+// WithStrongDCAS enables or disables the lines 13–18 optimization: using
+// the strong form of DCAS (which returns an atomic view on failure) to
+// detect, without retrying, that a failed pop raced with an operation that
+// emptied the deque, or that a failed push found the deque full.  Default
+// on, as printed in the paper.
+func WithStrongDCAS(on bool) Option {
+	return func(o *options) { o.strongDCAS = on }
+}
+
+// New returns an empty deque with capacity n (the paper's length_S);
+// it panics unless n ≥ 1.  Initially L == 0 and R == 1 mod n, and every
+// cell holds null (Figure 4, top).
+func New(n int, opts ...Option) *Deque {
+	if n < 1 {
+		panic("arraydeque: capacity must be ≥ 1")
+	}
+	o := options{recheckIndex: true, strongDCAS: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.prov == nil {
+		o.prov = dcas.Default()
+	}
+	d := &Deque{
+		prov:         o.prov,
+		n:            uint64(n),
+		s:            make([]dcas.Loc, n),
+		recheckIndex: o.recheckIndex,
+		strongDCAS:   o.strongDCAS,
+	}
+	d.l.Init(0)
+	d.r.Init(1 % d.n)
+	return d
+}
+
+// Cap reports the deque's capacity length_S.
+func (d *Deque) Cap() int { return int(d.n) }
+
+// inc returns (i + 1) mod n.
+func (d *Deque) inc(i uint64) uint64 { return (i + 1) % d.n }
+
+// dec returns (i - 1) mod n, with the paper's convention that mod yields a
+// value in [0, n).
+func (d *Deque) dec(i uint64) uint64 { return (i + d.n - 1) % d.n }
+
+// PopRight implements Figure 2.  It returns (v, Okay) when an item was
+// popped from the right end, or (0, Empty) when the deque was observed
+// empty at the operation's linearization point.
+func (d *Deque) PopRight() (uint64, spec.Result) {
+	for {
+		oldR := d.r.Load()       // line 3
+		newR := d.dec(oldR)      // line 4
+		oldS := d.s[newR].Load() // line 5
+		if oldS == Null {        // line 6
+			if !d.recheckIndex || oldR == d.r.Load() { // line 7
+				// The deque can be declared empty only on an instantaneous
+				// view of R and S[R-1]; the DCAS below confirms exactly
+				// that (lines 8-10).
+				if d.prov.DCAS(&d.r, &d.s[newR], oldR, oldS, oldR, oldS) {
+					return 0, spec.Empty
+				}
+			}
+		} else {
+			if d.strongDCAS {
+				saveR := oldR // line 13
+				v1, v2, ok := d.prov.DCASView(&d.r, &d.s[newR],
+					oldR, oldS, newR, Null) // lines 14-15
+				if ok {
+					return oldS, spec.Okay // line 16
+				}
+				oldR, oldS = v1, v2
+				if oldR == saveR { // line 17
+					if oldS == Null { // line 18: a competing popLeft
+						return 0, spec.Empty // "stole" the last item (Fig 6)
+					}
+				}
+			} else {
+				if d.prov.DCAS(&d.r, &d.s[newR], oldR, oldS, newR, Null) {
+					return oldS, spec.Okay
+				}
+			}
+		}
+	}
+}
+
+// PushRight implements Figure 3.  It returns Okay when v was appended at
+// the right end, or Full when the deque was observed full.  v must not be
+// the distinguished Null word.
+func (d *Deque) PushRight(v uint64) spec.Result {
+	if v == Null {
+		panic("arraydeque: cannot push the distinguished null value")
+	}
+	for {
+		oldR := d.r.Load()       // line 3
+		newR := d.inc(oldR)      // line 4
+		oldS := d.s[oldR].Load() // line 5
+		if oldS != Null {        // line 6
+			if !d.recheckIndex || oldR == d.r.Load() { // line 7
+				if d.prov.DCAS(&d.r, &d.s[oldR], oldR, oldS, oldR, oldS) {
+					return spec.Full // line 10
+				}
+			}
+		} else {
+			if d.strongDCAS {
+				saveR := oldR // line 13
+				v1, _, ok := d.prov.DCASView(&d.r, &d.s[oldR],
+					oldR, oldS, newR, v) // lines 14-15
+				if ok {
+					return spec.Okay // line 16
+				}
+				if v1 == saveR { // line 17: R unchanged, so the failure was
+					return spec.Full // a non-null cell: the deque is full
+				}
+			} else {
+				if d.prov.DCAS(&d.r, &d.s[oldR], oldR, Null, newR, v) {
+					return spec.Okay
+				}
+			}
+		}
+	}
+}
+
+// PopLeft implements Figure 30, the mirror image of PopRight.
+func (d *Deque) PopLeft() (uint64, spec.Result) {
+	for {
+		oldL := d.l.Load()       // line 3
+		newL := d.inc(oldL)      // line 4
+		oldS := d.s[newL].Load() // line 5
+		if oldS == Null {        // line 6
+			if !d.recheckIndex || oldL == d.l.Load() { // line 7
+				if d.prov.DCAS(&d.l, &d.s[newL], oldL, oldS, oldL, oldS) {
+					return 0, spec.Empty
+				}
+			}
+		} else {
+			if d.strongDCAS {
+				saveL := oldL
+				v1, v2, ok := d.prov.DCASView(&d.l, &d.s[newL],
+					oldL, oldS, newL, Null)
+				if ok {
+					return oldS, spec.Okay
+				}
+				oldL, oldS = v1, v2
+				if oldL == saveL {
+					if oldS == Null {
+						return 0, spec.Empty
+					}
+				}
+			} else {
+				if d.prov.DCAS(&d.l, &d.s[newL], oldL, oldS, newL, Null) {
+					return oldS, spec.Okay
+				}
+			}
+		}
+	}
+}
+
+// PushLeft implements Figure 31, the mirror image of PushRight.  v must
+// not be the distinguished Null word.
+func (d *Deque) PushLeft(v uint64) spec.Result {
+	if v == Null {
+		panic("arraydeque: cannot push the distinguished null value")
+	}
+	for {
+		oldL := d.l.Load()       // line 3
+		newL := d.dec(oldL)      // line 4
+		oldS := d.s[oldL].Load() // line 5
+		if oldS != Null {        // line 6
+			if !d.recheckIndex || oldL == d.l.Load() { // line 7
+				if d.prov.DCAS(&d.l, &d.s[oldL], oldL, oldS, oldL, oldS) {
+					return spec.Full
+				}
+			}
+		} else {
+			if d.strongDCAS {
+				saveL := oldL
+				v1, _, ok := d.prov.DCASView(&d.l, &d.s[oldL],
+					oldL, oldS, newL, v)
+				if ok {
+					return spec.Okay
+				}
+				if v1 == saveL {
+					return spec.Full
+				}
+			} else {
+				if d.prov.DCAS(&d.l, &d.s[oldL], oldL, Null, newL, v) {
+					return spec.Okay
+				}
+			}
+		}
+	}
+}

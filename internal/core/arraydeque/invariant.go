@@ -1,0 +1,130 @@
+package arraydeque
+
+import "fmt"
+
+// This file is the executable counterpart of the paper's proof artifacts
+// for the array-based implementation:
+//
+//   - RepInv reproduces the representation invariant of Figure 18
+//     (DEFPRED RepInv l r s n);
+//   - Abstract reproduces the abstraction function of Figures 19 and 20
+//     (AbsFuncContig and the four mutually-exclusive cases full, empty,
+//     non-wrapped and wrapped).
+//
+// The paper discharges "RepInv holds in every reachable state" and
+// "AbsFunc changes only at linearization points" with the Simplify prover;
+// here the same predicates are checked by enumeration in the model checker
+// (internal/verify/model) and after every operation in the unit tests.
+
+// Snapshot is an instantaneous view of the implementation state: the two
+// indices and the cell contents.  Snapshots are meaningful only when taken
+// without concurrent operations (tests, model checking).
+type Snapshot struct {
+	L, R  uint64
+	Cells []uint64
+}
+
+// Snapshot copies the current implementation state.  It must only be
+// called while no operations are in flight.
+func (d *Deque) Snapshot() Snapshot {
+	cells := make([]uint64, d.n)
+	for i := range cells {
+		cells[i] = d.s[i].Load()
+	}
+	return Snapshot{L: d.l.Load(), R: d.r.Load(), Cells: cells}
+}
+
+// RepInv checks the representation invariant of Figure 18 on a state
+// snapshot and returns nil if it holds, or an error naming the violated
+// conjunct using the paper's labels (PhysQueueSize, RInRange, LInRange,
+// FullQueue / wrapped / non-wrapped content cases).
+func RepInv(st Snapshot) error {
+	n := uint64(len(st.Cells))
+	if n == 0 {
+		return fmt.Errorf("RepInv/PhysQueueSize: array size must be > 0")
+	}
+	if st.R >= n {
+		return fmt.Errorf("RepInv/RInRange: R=%d out of [0,%d)", st.R, n)
+	}
+	if st.L >= n {
+		return fmt.Errorf("RepInv/LInRange: L=%d out of [0,%d)", st.L, n)
+	}
+	// k is the number of items: the cells strictly between L and R
+	// (circularly) hold values; all others are null.  k == 0 covers both
+	// the empty deque (all null) and the full deque (all non-null) — the
+	// FullQueue disjunct of Figure 18, distinguished exactly as the paper
+	// prescribes by cell contents rather than index positions.
+	k := (st.R + n - st.L - 1) % n
+	if k == 0 {
+		allNull, allFull := true, true
+		for _, c := range st.Cells {
+			if c == Null {
+				allFull = false
+			} else {
+				allNull = false
+			}
+		}
+		switch {
+		case allNull, allFull:
+			return nil
+		default:
+			return fmt.Errorf("RepInv/FullQueue: R==L+1 mod n but cells are mixed (neither empty nor full): L=%d R=%d cells=%v",
+				st.L, st.R, st.Cells)
+		}
+	}
+	// Non-boundary case: exactly the k cells L+1..L+k (mod n) are
+	// non-null.  This covers both the wrapped and non-wrapped disjuncts of
+	// Figure 18 uniformly.
+	occupied := make([]bool, n)
+	for j := uint64(1); j <= k; j++ {
+		occupied[(st.L+j)%n] = true
+	}
+	for i := uint64(0); i < n; i++ {
+		c := st.Cells[i]
+		if occupied[i] && c == Null {
+			return fmt.Errorf("RepInv/content: cell %d inside (L=%d,R=%d) is null: cells=%v",
+				i, st.L, st.R, st.Cells)
+		}
+		if !occupied[i] && c != Null {
+			return fmt.Errorf("RepInv/content: cell %d outside (L=%d,R=%d) holds %d: cells=%v",
+				i, st.L, st.R, c, st.Cells)
+		}
+	}
+	return nil
+}
+
+// Abstract applies the abstraction function of Figures 19/20 to a state
+// snapshot, returning the abstract deque value as a left-to-right slice of
+// items.  It returns an error when the snapshot is outside the function's
+// domain (i.e. RepInv fails), since "the representation invariant ...
+// defines the domain of the abstraction function A".
+func Abstract(st Snapshot) ([]uint64, error) {
+	if err := RepInv(st); err != nil {
+		return nil, err
+	}
+	n := uint64(len(st.Cells))
+	k := (st.R + n - st.L - 1) % n
+	if k == 0 {
+		// Empty or full, distinguished by content (Figure 20's AbsFuncEmpty
+		// and AbsFuncFull cases).
+		if st.Cells[(st.L+1)%n] == Null {
+			return nil, nil
+		}
+		k = n // full: every cell is an item, leftmost at L+1
+	}
+	// AbsFuncContig over L+1 .. L+k (mod n); the wrapped case is the
+	// concatenation of the two contiguous runs (Figure 20's AbsFuncWrapped).
+	items := make([]uint64, 0, k)
+	for j := uint64(1); j <= k; j++ {
+		items = append(items, st.Cells[(st.L+j)%n])
+	}
+	return items, nil
+}
+
+// CheckRepInv verifies the representation invariant on the deque's current
+// state.  Quiescence is the caller's responsibility.
+func (d *Deque) CheckRepInv() error { return RepInv(d.Snapshot()) }
+
+// Items returns the abstract value of the deque (left to right).  It must
+// only be called while no operations are in flight.
+func (d *Deque) Items() ([]uint64, error) { return Abstract(d.Snapshot()) }

@@ -1,0 +1,158 @@
+package arraydeque
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcasdeque/internal/spec"
+)
+
+// TestQuickProgramsMatchSpec property-checks that arbitrary quick-generated
+// operation programs leave the deque observably equal to the sequential
+// specification, with the representation invariant holding throughout.
+func TestQuickProgramsMatchSpec(t *testing.T) {
+	f := func(prog []uint8, capSeed uint8, strong, recheck bool) bool {
+		n := int(capSeed%6) + 1
+		d := New(n, WithStrongDCAS(strong), WithRecheckIndex(recheck))
+		ref := spec.New(n)
+		next := uint64(1)
+		for _, op := range prog {
+			switch op % 4 {
+			case 0:
+				if d.PushLeft(next) != ref.PushLeft(next) {
+					return false
+				}
+				next++
+			case 1:
+				if d.PushRight(next) != ref.PushRight(next) {
+					return false
+				}
+				next++
+			case 2:
+				gv, gr := d.PopLeft()
+				wv, wr := ref.PopLeft()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					return false
+				}
+			case 3:
+				gv, gr := d.PopRight()
+				wv, wr := ref.PopRight()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					return false
+				}
+			}
+			if d.CheckRepInv() != nil {
+				return false
+			}
+		}
+		items, err := d.Items()
+		if err != nil {
+			return false
+		}
+		want := ref.Items()
+		if len(items) != len(want) {
+			return false
+		}
+		for i := range items {
+			if items[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepInvRejectsCorruption mutation-tests the invariant checker: every
+// single-cell corruption of a valid snapshot that breaks the layout rules
+// must be detected.
+func TestRepInvRejectsCorruption(t *testing.T) {
+	d := New(6)
+	for i := 1; i <= 3; i++ {
+		d.PushRight(uint64(i * 10))
+	}
+	good := d.Snapshot()
+	if err := RepInv(good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	// Hole inside the occupied region.
+	st := cloneSnap(good)
+	st.Cells[(st.L+2)%uint64(len(st.Cells))] = Null
+	if RepInv(st) == nil {
+		t.Fatal("hole inside occupied region accepted")
+	}
+
+	// Stray value outside the occupied region.
+	st = cloneSnap(good)
+	st.Cells[st.R] = 99
+	if RepInv(st) == nil {
+		// st.R is exactly the next insert slot; occupying it without
+		// moving R makes the count wrong.
+		t.Fatal("stray value at R accepted")
+	}
+
+	// Out-of-range indices.
+	st = cloneSnap(good)
+	st.R = uint64(len(st.Cells))
+	if RepInv(st) == nil {
+		t.Fatal("R out of range accepted")
+	}
+	st = cloneSnap(good)
+	st.L = uint64(len(st.Cells)) + 3
+	if RepInv(st) == nil {
+		t.Fatal("L out of range accepted")
+	}
+
+	// Empty array.
+	if RepInv(Snapshot{}) == nil {
+		t.Fatal("zero-length array accepted")
+	}
+
+	// Mixed cells with R == L+1 (neither empty nor full).
+	st = Snapshot{L: 0, R: 1, Cells: []uint64{0, 5, 0}}
+	if RepInv(st) == nil {
+		t.Fatal("mixed boundary state accepted")
+	}
+}
+
+// TestAbstractUndefinedOutsideInvariant checks that the abstraction
+// function's domain is exactly the invariant ("It also defines the domain
+// of the abstraction function A").
+func TestAbstractUndefinedOutsideInvariant(t *testing.T) {
+	bad := Snapshot{L: 0, R: 2, Cells: []uint64{0, 0, 0, 0}} // hole where item expected
+	if _, err := Abstract(bad); err == nil {
+		t.Fatal("Abstract defined outside RepInv domain")
+	}
+}
+
+// TestAbstractFullAndWrapped exercises the four AbsFunc cases of Figure 20
+// directly: empty, non-wrapped, wrapped, and full.
+func TestAbstractFullAndWrapped(t *testing.T) {
+	// Empty.
+	items, err := Abstract(Snapshot{L: 0, R: 1, Cells: make([]uint64, 4)})
+	if err != nil || len(items) != 0 {
+		t.Fatalf("empty: (%v, %v)", items, err)
+	}
+	// Non-wrapped: L=0, R=3, items at 1,2.
+	items, err = Abstract(Snapshot{L: 0, R: 3, Cells: []uint64{0, 7, 8, 0}})
+	if err != nil || len(items) != 2 || items[0] != 7 || items[1] != 8 {
+		t.Fatalf("non-wrapped: (%v, %v)", items, err)
+	}
+	// Wrapped: L=2, R=1, items at 3, 0.
+	items, err = Abstract(Snapshot{L: 2, R: 1, Cells: []uint64{8, 0, 0, 7}})
+	if err != nil || len(items) != 2 || items[0] != 7 || items[1] != 8 {
+		t.Fatalf("wrapped: (%v, %v)", items, err)
+	}
+	// Full: R == L+1 and all cells occupied; leftmost at L+1.
+	items, err = Abstract(Snapshot{L: 0, R: 1, Cells: []uint64{9, 6, 7, 8}})
+	if err != nil || len(items) != 4 || items[0] != 6 || items[3] != 9 {
+		t.Fatalf("full: (%v, %v)", items, err)
+	}
+}
+
+func cloneSnap(s Snapshot) Snapshot {
+	return Snapshot{L: s.L, R: s.R, Cells: append([]uint64(nil), s.Cells...)}
+}

@@ -1,0 +1,333 @@
+package listdeque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dcasdeque/internal/spec"
+)
+
+// TestConservation runs pushers and poppers on both ends and checks that
+// every value pushed is popped exactly once or remains present, with the
+// representation invariant and node accounting intact afterwards.
+func TestConservation(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			const (
+				pushers = 4
+				poppers = 4
+				perG    = 2000
+				total   = pushers * perG
+			)
+			d := mk()
+			var push, pop sync.WaitGroup
+			var done atomic.Bool
+			popped := make([][]uint64, poppers)
+
+			for g := 0; g < pushers; g++ {
+				push.Add(1)
+				go func(g int) {
+					defer push.Done()
+					for i := 0; i < perG; i++ {
+						v := uint64(g*perG+i) + MinUserValue
+						var r spec.Result
+						if (g+i)%2 == 0 {
+							r = d.PushRight(v)
+						} else {
+							r = d.PushLeft(v)
+						}
+						if r != spec.Okay {
+							panic("unbounded push failed")
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < poppers; g++ {
+				pop.Add(1)
+				go func(g int) {
+					defer pop.Done()
+					for {
+						var v uint64
+						var r spec.Result
+						if g%2 == 0 {
+							v, r = d.PopLeft()
+						} else {
+							v, r = d.PopRight()
+						}
+						if r == spec.Okay {
+							popped[g] = append(popped[g], v)
+						} else if done.Load() {
+							return
+						} else {
+							runtime.Gosched() // empty: let pushers run
+						}
+					}
+				}(g)
+			}
+			push.Wait()
+			done.Store(true)
+			pop.Wait()
+
+			var rest []uint64
+			for {
+				v, r := d.PopLeft()
+				if r != spec.Okay {
+					break
+				}
+				rest = append(rest, v)
+			}
+			checkInv(t, d)
+			checkAccounting(t, d)
+
+			seen := make(map[uint64]int, total)
+			for _, batch := range popped {
+				for _, v := range batch {
+					seen[v]++
+				}
+			}
+			for _, v := range rest {
+				seen[v]++
+			}
+			if len(seen) != total {
+				t.Fatalf("distinct values out: %d, want %d", len(seen), total)
+			}
+			for v, c := range seen {
+				if c != 1 {
+					t.Fatalf("value %d popped %d times", v, c)
+				}
+				if v < MinUserValue || v >= MinUserValue+total {
+					t.Fatalf("alien value %d popped", v)
+				}
+			}
+		})
+	}
+}
+
+// TestBothEndsIndependent checks the paper's claim of non-interfering
+// concurrent access to the two ends of the list deque.
+func TestBothEndsIndependent(t *testing.T) {
+	const (
+		seed = 8
+		ops  = 30000
+	)
+	d := New()
+	for i := 0; i < seed; i++ {
+		d.PushRight(uint64(1000 + i))
+	}
+	var wg sync.WaitGroup
+	run := func(push func(uint64) spec.Result, pop func() (uint64, spec.Result), base uint64) {
+		defer wg.Done()
+		depth := 0
+		next := base
+		for i := 0; i < ops; i++ {
+			if depth == 0 || i%3 != 0 {
+				if push(next) != spec.Okay {
+					panic("unbounded push failed")
+				}
+				depth++
+				next++
+			} else {
+				v, r := pop()
+				if r != spec.Okay {
+					panic("pop failed with items on this end")
+				}
+				if v < base || v >= base+uint64(ops) {
+					panic("value crossed ends despite middle ballast")
+				}
+				depth--
+			}
+		}
+		for ; depth > 0; depth-- {
+			v, r := pop()
+			if r != spec.Okay || v < base || v >= base+uint64(ops) {
+				panic("unwind popped foreign value")
+			}
+		}
+	}
+	wg.Add(2)
+	go run(d.PushLeft, d.PopLeft, 1<<20)
+	go run(d.PushRight, d.PopRight, 1<<30)
+	wg.Wait()
+	checkInv(t, d)
+	items := mustItems(t, d)
+	if len(items) != seed {
+		t.Fatalf("ballast disturbed: %v", items)
+	}
+	for i, v := range items {
+		if v != uint64(1000+i) {
+			t.Fatalf("ballast order disturbed: %v", items)
+		}
+	}
+	checkAccounting(t, d)
+}
+
+// TestStealScenario exercises the "steal the last item" race: two opposing
+// pops attack a single-item deque; exactly one wins.
+func TestStealScenario(t *testing.T) {
+	for round := 0; round < 1500; round++ {
+		d := New()
+		d.PushRight(7)
+		var vL, vR uint64
+		var rL, rR spec.Result
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); vL, rL = d.PopLeft() }()
+		go func() { defer wg.Done(); vR, rR = d.PopRight() }()
+		wg.Wait()
+		switch {
+		case rL == spec.Okay && rR == spec.Empty:
+			if vL != 7 {
+				t.Fatalf("left won with value %d", vL)
+			}
+		case rR == spec.Okay && rL == spec.Empty:
+			if vR != 7 {
+				t.Fatalf("right won with value %d", vR)
+			}
+		default:
+			t.Fatalf("round %d: results (%v, %v); exactly one pop must win", round, rL, rR)
+		}
+		checkInv(t, d)
+		if items := mustItems(t, d); len(items) != 0 {
+			t.Fatalf("item not removed: %v", items)
+		}
+	}
+}
+
+// TestFig16TwoNullContention builds the two-deleted-cells state of
+// Figure 16 and lets deleteLeft and deleteRight race (triggered through
+// concurrent pops); whatever the interleaving, the deque must end fully
+// clean with both nodes reclaimed.
+func TestFig16TwoNullContention(t *testing.T) {
+	for round := 0; round < 1500; round++ {
+		d := New()
+		d.PushRight(10)
+		d.PushRight(20)
+		if v, r := d.PopLeft(); r != spec.Okay || v != 10 {
+			t.Fatalf("setup popLeft = (%d,%v)", v, r)
+		}
+		if v, r := d.PopRight(); r != spec.Okay || v != 20 {
+			t.Fatalf("setup popRight = (%d,%v)", v, r)
+		}
+		// State: SL -(del)-> null, null <-(del)- SR (Figure 9 bottom).
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var rL, rR spec.Result
+		go func() { defer wg.Done(); _, rL = d.PopLeft() }()  // triggers deleteLeft
+		go func() { defer wg.Done(); _, rR = d.PopRight() }() // triggers deleteRight
+		wg.Wait()
+		if rL != spec.Empty || rR != spec.Empty {
+			t.Fatalf("round %d: pops on two-deleted empty = (%v, %v)", round, rL, rR)
+		}
+		st, err := d.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Seq) != 2 || st.LeftDeleted || st.RightDeleted {
+			t.Fatalf("round %d: not fully cleaned: %+v", round, st)
+		}
+		if d.Arena().Live() != 2 {
+			t.Fatalf("round %d: %d nodes live, want 2 sentinels", round, d.Arena().Live())
+		}
+	}
+}
+
+// TestConcurrentReuseChurn hammers a reuse-mode deque hard enough that
+// nodes are recycled many times over, verifying tags keep incarnations
+// apart (conservation would break on ABA).
+func TestConcurrentReuseChurn(t *testing.T) {
+	d := New(WithMaxNodes(64)) // tiny arena: heavy recycling
+	const (
+		workers = 6
+		rounds  = 4000
+	)
+	var pushedOK, poppedOK atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					if d.PushLeft(uint64(w*rounds+i)+MinUserValue) == spec.Okay {
+						pushedOK.Add(1)
+					}
+				case 1:
+					if d.PushRight(uint64(w*rounds+i)+MinUserValue) == spec.Okay {
+						pushedOK.Add(1)
+					}
+				case 2:
+					if _, r := d.PopLeft(); r == spec.Okay {
+						poppedOK.Add(1)
+					}
+				case 3:
+					if _, r := d.PopRight(); r == spec.Okay {
+						poppedOK.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkInv(t, d)
+	items := mustItems(t, d)
+	// Quiesce: pops may have left marks; drain via pops to trigger deletes.
+	for {
+		if _, r := d.PopLeft(); r != spec.Okay {
+			break
+		}
+		poppedOK.Add(1)
+	}
+	for {
+		if _, r := d.PopRight(); r != spec.Okay {
+			break
+		}
+		poppedOK.Add(1)
+	}
+	_ = items
+	if pushedOK.Load() != poppedOK.Load() {
+		t.Fatalf("conservation: pushed %d, popped %d", pushedOK.Load(), poppedOK.Load())
+	}
+	if got := d.Arena().Frees(); got == 0 {
+		t.Fatal("no node was ever recycled; churn test ineffective")
+	}
+	checkAccounting(t, d)
+}
+
+// TestLazyDeleterHandoff checks the non-blocking handoff: a pop that marks
+// a node and then "stalls" (simply stops) must not prevent other
+// goroutines from completing operations on that side.
+func TestLazyDeleterHandoff(t *testing.T) {
+	d := New() // lazy: the pop below leaves the mark behind
+	d.PushRight(10)
+	d.PushRight(20)
+	if v, r := d.PopRight(); r != spec.Okay || v != 20 {
+		t.Fatalf("pop = (%d,%v)", v, r)
+	}
+	// The popper has "stalled" after its logical deletion.  Other threads
+	// must make progress: pushes and pops on the right complete by first
+	// performing the stalled thread's physical deletion.
+	var wg sync.WaitGroup
+	results := make([]spec.Result, 4)
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = d.PushRight(uint64(100 + i))
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r != spec.Okay {
+			t.Fatalf("push %d = %v despite stalled deleter", i, r)
+		}
+	}
+	checkInv(t, d)
+	items := mustItems(t, d)
+	if len(items) != 5 || items[0] != 10 {
+		t.Fatalf("items %v, want [10 and four pushes]", items)
+	}
+	checkAccounting(t, d)
+}

@@ -1,0 +1,388 @@
+package listdeque
+
+import (
+	"fmt"
+
+	"dcasdeque/internal/arena"
+	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/tagptr"
+)
+
+// DummyDeque is the Figure 10 variant of the linked-list deque, built per
+// the paper's footnote 4: "One can altogether eliminate the need for a
+// 'deleted' bit by introducing a special dummy type 'delete-bit' node,
+// distinguishable from regular nodes, in place of the bit ... pointing to
+// a node indirectly via its dummy node represents a bit value of true,
+// and pointing directly represents false."
+//
+// A sentinel's inward pointer therefore references either a regular node
+// (not logically deleted) or a dummy node — distinguishable by its Dummy
+// value word — whose inward pointer references the logically deleted
+// node.  No pointer word ever carries a flag bit, so this variant would
+// work on hardware without spare pointer alignment bits.
+//
+// The footnote gives each processor a permanent dummy per side; since
+// goroutines are not enumerable processors, this implementation allocates
+// a fresh dummy per logical deletion and frees it when the physical
+// deletion completes — functionally identical, because dummies are
+// compared by identity (their pointer word) exactly as the bit-carrying
+// words are.
+//
+// All methods are safe for concurrent use.  Create with NewDummy.
+type DummyDeque struct {
+	prov dcas.Provider
+	ar   *arena.Arena[node]
+
+	sl, sr uint32
+	slPtr  tagptr.Word
+	srPtr  tagptr.Word
+
+	// itemLimit caps live regular nodes; the arena is sized itemLimit +
+	// dummyHeadroom so that pops can always allocate their delete-bit
+	// dummy while at most dummyHeadroom−2 pop operations are in flight.
+	// (The footnote's per-processor permanent dummies give the same bound
+	// with D = number of processors.)
+	itemLimit int
+}
+
+// dummyHeadroom is the arena slack reserved for delete-bit dummy nodes.
+const dummyHeadroom = 64
+
+// NewDummy returns an empty dummy-node deque.  The same options as New
+// apply; WithEagerDelete is not offered (the variant exists to mirror the
+// main text's lazy protocol).
+func NewDummy(opts ...Option) *DummyDeque {
+	o := options{maxNodes: 1 << 20, reuse: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.prov == nil {
+		o.prov = dcas.Default()
+	}
+	if o.maxNodes < 4 {
+		panic("listdeque: dummy variant needs at least 4 nodes")
+	}
+	ar := arena.New[node](o.maxNodes+dummyHeadroom, arena.WithReuse(o.reuse))
+	sl, ok1 := ar.Alloc()
+	sr, ok2 := ar.Alloc()
+	if !ok1 || !ok2 {
+		panic("listdeque: sentinel allocation failed")
+	}
+	d := &DummyDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, itemLimit: o.maxNodes}
+	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
+	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
+	d.node(sl).val.Init(SentL)
+	d.node(sl).r.Init(d.srPtr)
+	d.node(sl).l.Init(tagptr.Nil)
+	d.node(sr).val.Init(SentR)
+	d.node(sr).l.Init(d.slPtr)
+	d.node(sr).r.Init(tagptr.Nil)
+	return d
+}
+
+func (d *DummyDeque) node(idx uint32) *node { return d.ar.Get(idx) }
+
+// Arena exposes the node arena (for tests).
+func (d *DummyDeque) Arena() *arena.Arena[node] { return d.ar }
+
+// resolve interprets a sentinel inward pointer: if it references a dummy
+// node, the logical target is the node the dummy's inward pointer
+// references and the "deleted bit" is true.  right selects which inward
+// pointer of the dummy holds the real target.
+func (d *DummyDeque) resolve(w tagptr.Word, right bool) (real tagptr.Word, deleted bool) {
+	idx := tagptr.MustIdx(w)
+	if d.node(idx).val.Load() != Dummy {
+		return w, false
+	}
+	if right {
+		return d.node(idx).l.Load(), true
+	}
+	return d.node(idx).r.Load(), true
+}
+
+// mkDummy allocates a dummy node whose inward pointer references real.
+// It returns the dummy's pointer word, or ok=false if allocation failed.
+func (d *DummyDeque) mkDummy(real tagptr.Word, right bool) (tagptr.Word, uint32, bool) {
+	idx, ok := d.ar.Alloc()
+	if !ok {
+		return tagptr.Nil, 0, false
+	}
+	n := d.node(idx)
+	n.val.Init(Dummy)
+	if right {
+		n.l.Init(real)
+		n.r.Init(d.srPtr)
+	} else {
+		n.r.Init(real)
+		n.l.Init(d.slPtr)
+	}
+	return tagptr.Pack(idx, d.ar.Gen(idx), false), idx, true
+}
+
+// PopRight implements Figure 11 over the dummy representation.
+func (d *DummyDeque) PopRight() (uint64, spec.Result) {
+	srL := &d.node(d.sr).l
+	for {
+		raw := srL.Load()
+		real, deleted := d.resolve(raw, true)
+		v := d.node(tagptr.MustIdx(real)).val.Load()
+		if v == SentL {
+			return 0, spec.Empty
+		}
+		if deleted {
+			d.deleteRight()
+			continue
+		}
+		if v == Null {
+			if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(real)).val, raw, v, raw, v) {
+				return 0, spec.Empty
+			}
+		} else {
+			// Logical deletion: swing SR->L to a fresh dummy whose L is
+			// the node, and null the value, in one DCAS.
+			dw, didx, ok := d.mkDummy(real, true)
+			if !ok {
+				// Allocator exhausted: fall back to completing pending
+				// deletions, which frees dummies, then retry.
+				d.deleteRight()
+				continue
+			}
+			if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(real)).val, raw, v, dw, Null) {
+				return v, spec.Okay
+			}
+			d.ar.Free(didx) // never published
+		}
+	}
+}
+
+// PushRight implements Figure 13 over the dummy representation.
+func (d *DummyDeque) PushRight(v uint64) spec.Result {
+	if v < MinUserValue {
+		panic("listdeque: value collides with a distinguished word")
+	}
+	if d.ar.Live() >= d.itemLimit {
+		return spec.Full // leave the headroom for delete-bit dummies
+	}
+	idx, ok := d.ar.Alloc()
+	if !ok {
+		return spec.Full
+	}
+	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
+	n := d.node(idx)
+	srL := &d.node(d.sr).l
+	for {
+		raw := srL.Load()
+		if _, deleted := d.resolve(raw, true); deleted {
+			d.deleteRight()
+			continue
+		}
+		n.r.Init(d.srPtr)
+		n.l.Init(raw)
+		n.val.Init(v)
+		if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(raw)).r, raw, d.srPtr, nw, nw) {
+			return spec.Okay
+		}
+	}
+}
+
+// deleteRight completes a pending right-side physical deletion (Figure 17
+// over the dummy representation): on return the right sentinel has been
+// observed pointing directly at a regular node.
+func (d *DummyDeque) deleteRight() {
+	srL := &d.node(d.sr).l
+	slR := &d.node(d.sl).r
+	for {
+		raw := srL.Load()
+		real, deleted := d.resolve(raw, true)
+		if !deleted {
+			return
+		}
+		delIdx := tagptr.MustIdx(real)
+		oldLL := d.node(delIdx).l.Load()
+		lln := d.node(tagptr.MustIdx(oldLL))
+		if lln.val.Load() != Null {
+			oldLLR := lln.r.Load()
+			if tagptr.Ptr(real) == tagptr.Ptr(oldLLR) {
+				if d.prov.DCAS(srL, &lln.r, raw, oldLLR, oldLL, d.srPtr) {
+					d.ar.Free(delIdx)
+					d.ar.Free(tagptr.MustIdx(raw)) // the dummy
+					return
+				}
+			}
+		} else { // two null items: the left side must be marked too
+			oldRraw := slR.Load()
+			leftReal, leftDeleted := d.resolve(oldRraw, false)
+			if leftDeleted {
+				if d.prov.DCAS(srL, slR, raw, oldRraw, d.slPtr, d.srPtr) {
+					d.ar.Free(delIdx)                   // right null node
+					d.ar.Free(tagptr.MustIdx(raw))      // right dummy
+					d.ar.Free(tagptr.MustIdx(leftReal)) // left null node
+					d.ar.Free(tagptr.MustIdx(oldRraw))  // left dummy
+					return
+				}
+			}
+		}
+	}
+}
+
+// PopLeft mirrors PopRight.
+func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
+	slR := &d.node(d.sl).r
+	for {
+		raw := slR.Load()
+		real, deleted := d.resolve(raw, false)
+		v := d.node(tagptr.MustIdx(real)).val.Load()
+		if v == SentR {
+			return 0, spec.Empty
+		}
+		if deleted {
+			d.deleteLeft()
+			continue
+		}
+		if v == Null {
+			if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(real)).val, raw, v, raw, v) {
+				return 0, spec.Empty
+			}
+		} else {
+			dw, didx, ok := d.mkDummy(real, false)
+			if !ok {
+				d.deleteLeft()
+				continue
+			}
+			if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(real)).val, raw, v, dw, Null) {
+				return v, spec.Okay
+			}
+			d.ar.Free(didx)
+		}
+	}
+}
+
+// PushLeft mirrors PushRight.
+func (d *DummyDeque) PushLeft(v uint64) spec.Result {
+	if v < MinUserValue {
+		panic("listdeque: value collides with a distinguished word")
+	}
+	if d.ar.Live() >= d.itemLimit {
+		return spec.Full // leave the headroom for delete-bit dummies
+	}
+	idx, ok := d.ar.Alloc()
+	if !ok {
+		return spec.Full
+	}
+	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
+	n := d.node(idx)
+	slR := &d.node(d.sl).r
+	for {
+		raw := slR.Load()
+		if _, deleted := d.resolve(raw, false); deleted {
+			d.deleteLeft()
+			continue
+		}
+		n.l.Init(d.slPtr)
+		n.r.Init(raw)
+		n.val.Init(v)
+		if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(raw)).l, raw, d.slPtr, nw, nw) {
+			return spec.Okay
+		}
+	}
+}
+
+// deleteLeft mirrors deleteRight.
+func (d *DummyDeque) deleteLeft() {
+	srL := &d.node(d.sr).l
+	slR := &d.node(d.sl).r
+	for {
+		raw := slR.Load()
+		real, deleted := d.resolve(raw, false)
+		if !deleted {
+			return
+		}
+		delIdx := tagptr.MustIdx(real)
+		oldRR := d.node(delIdx).r.Load()
+		rrn := d.node(tagptr.MustIdx(oldRR))
+		if rrn.val.Load() != Null {
+			oldRRL := rrn.l.Load()
+			if tagptr.Ptr(real) == tagptr.Ptr(oldRRL) {
+				if d.prov.DCAS(slR, &rrn.l, raw, oldRRL, oldRR, d.slPtr) {
+					d.ar.Free(delIdx)
+					d.ar.Free(tagptr.MustIdx(raw))
+					return
+				}
+			}
+		} else {
+			oldLraw := srL.Load()
+			rightReal, rightDeleted := d.resolve(oldLraw, true)
+			if rightDeleted {
+				if d.prov.DCAS(slR, srL, raw, oldLraw, d.srPtr, d.slPtr) {
+					d.ar.Free(delIdx)
+					d.ar.Free(tagptr.MustIdx(raw))
+					d.ar.Free(tagptr.MustIdx(rightReal))
+					d.ar.Free(tagptr.MustIdx(oldLraw))
+					return
+				}
+			}
+		}
+	}
+}
+
+// Snapshot maps the dummy representation onto the deleted-bit
+// representation so the shared RepInv and Abstract apply unchanged: the
+// synthesized snapshot shows sentinel inward pointers with deleted bits
+// instead of dummy indirections.  Quiescent use only.
+func (d *DummyDeque) Snapshot() (Snapshot, error) {
+	var st Snapshot
+	limit := d.ar.Live() + 2
+	// Resolve SL->R through a possible dummy.
+	slrRaw := d.node(d.sl).r.Load()
+	slrReal, leftDel := d.resolve(slrRaw, false)
+	srlRaw := d.node(d.sr).l.Load()
+	srlReal, rightDel := d.resolve(srlRaw, true)
+
+	idx := d.sl
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			return st, fmt.Errorf("listdeque: R-chain does not reach SR within %d steps (cycle?)", limit)
+		}
+		n := d.node(idx)
+		ns := NodeState{Idx: idx, L: n.l.Load(), R: n.r.Load(), Value: n.val.Load()}
+		// Synthesize bit-style sentinel pointers.
+		if idx == d.sl {
+			ns.R = tagptr.WithDeleted(slrReal, leftDel)
+		}
+		if idx == d.sr {
+			ns.L = tagptr.WithDeleted(srlReal, rightDel)
+		}
+		st.Seq = append(st.Seq, ns)
+		if idx == d.sr {
+			break
+		}
+		next := ns.R
+		idx = tagptr.MustIdx(next)
+	}
+	st.LeftDeleted = leftDel
+	st.RightDeleted = rightDel
+	return st, nil
+}
+
+// CheckRepInv verifies the representation invariant on a quiescent
+// snapshot of the dummy-variant deque.
+func (d *DummyDeque) CheckRepInv() error {
+	st, err := d.Snapshot()
+	if err != nil {
+		return err
+	}
+	return RepInvFor(st, d.sl, d.sr)
+}
+
+// Items returns the abstract deque value.  Quiescent use only.
+func (d *DummyDeque) Items() ([]uint64, error) {
+	st, err := d.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := RepInvFor(st, d.sl, d.sr); err != nil {
+		return nil, err
+	}
+	return Abstract(st), nil
+}

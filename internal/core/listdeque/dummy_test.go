@@ -1,0 +1,355 @@
+package listdeque
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"dcasdeque/internal/spec"
+)
+
+func checkDummyInv(t *testing.T, d *DummyDeque) {
+	t.Helper()
+	if err := d.CheckRepInv(); err != nil {
+		t.Fatalf("dummy variant invariant violated: %v", err)
+	}
+}
+
+// checkDummyAccounting: a marked end costs two live nodes (the null node
+// and its delete-bit dummy).
+func checkDummyAccounting(t *testing.T, d *DummyDeque) {
+	t.Helper()
+	st, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := 0
+	if st.LeftDeleted {
+		marked++
+	}
+	if st.RightDeleted {
+		marked++
+	}
+	want := 2 + len(Abstract(st)) + 2*marked
+	if got := d.Arena().Live(); got != want {
+		t.Fatalf("node accounting: %d live, want %d (2 sentinels + %d items + 2×%d marks)",
+			got, want, len(Abstract(st)), marked)
+	}
+}
+
+func TestDummyBasicAndFig10State(t *testing.T) {
+	d := NewDummy()
+	checkDummyInv(t, d)
+	d.PushRight(10)
+	if v, r := d.PopRight(); r != spec.Okay || v != 10 {
+		t.Fatalf("pop = (%d, %v)", v, r)
+	}
+	// Figure 10: "Empty Deque with one deleted cell marked by a right
+	// dummy node" — the sentinel points at a dummy, the dummy at the null
+	// node.
+	st, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.RightDeleted || st.LeftDeleted {
+		t.Fatalf("state flags: %+v", st)
+	}
+	if len(st.Seq) != 3 || st.Seq[1].Value != Null {
+		t.Fatalf("chain: %+v", st.Seq)
+	}
+	checkDummyInv(t, d)
+	checkDummyAccounting(t, d) // 2 sentinels + null node + dummy
+	// The next operation completes the deletion and frees both nodes.
+	if _, r := d.PopRight(); r != spec.Empty {
+		t.Fatal("pop on marked-empty not empty")
+	}
+	if d.Arena().Live() != 2 {
+		t.Fatalf("%d nodes live after cleanup, want 2", d.Arena().Live())
+	}
+}
+
+func TestDummySection22Example(t *testing.T) {
+	d := NewDummy()
+	d.PushRight(11)
+	d.PushLeft(12)
+	d.PushRight(13)
+	if v, r := d.PopLeft(); r != spec.Okay || v != 12 {
+		t.Fatalf("popLeft = (%d, %v)", v, r)
+	}
+	if v, r := d.PopLeft(); r != spec.Okay || v != 11 {
+		t.Fatalf("popLeft = (%d, %v)", v, r)
+	}
+	items, err := d.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0] != 13 {
+		t.Fatalf("items %v", items)
+	}
+}
+
+// TestDummyEquivalence runs identical random programs on the deleted-bit
+// deque and the dummy-node deque; every result and every abstract state
+// must match — the two representations implement one algorithm.
+func TestDummyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	bit := New()
+	dum := NewDummy()
+	next := MinUserValue
+	for step := 0; step < 6000; step++ {
+		switch rng.IntN(4) {
+		case 0:
+			rb := bit.PushLeft(next)
+			rd := dum.PushLeft(next)
+			if rb != rd {
+				t.Fatalf("step %d: pushLeft %v vs %v", step, rb, rd)
+			}
+			next++
+		case 1:
+			rb := bit.PushRight(next)
+			rd := dum.PushRight(next)
+			if rb != rd {
+				t.Fatalf("step %d: pushRight %v vs %v", step, rb, rd)
+			}
+			next++
+		case 2:
+			vb, rb := bit.PopLeft()
+			vd, rd := dum.PopLeft()
+			if rb != rd || vb != vd {
+				t.Fatalf("step %d: popLeft (%d,%v) vs (%d,%v)", step, vb, rb, vd, rd)
+			}
+		case 3:
+			vb, rb := bit.PopRight()
+			vd, rd := dum.PopRight()
+			if rb != rd || vb != vd {
+				t.Fatalf("step %d: popRight (%d,%v) vs (%d,%v)", step, vb, rb, vd, rd)
+			}
+		}
+		ib, err := bit.Items()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := dum.Items()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ib) != len(id) {
+			t.Fatalf("step %d: items %v vs %v", step, ib, id)
+		}
+		for i := range ib {
+			if ib[i] != id[i] {
+				t.Fatalf("step %d: items %v vs %v", step, ib, id)
+			}
+		}
+	}
+	checkDummyAccounting(t, dum)
+}
+
+// TestDummyRandomDifferential checks the dummy variant directly against
+// the sequential specification with the invariant after every step.
+func TestDummyRandomDifferential(t *testing.T) {
+	for _, reuse := range []bool{true, false} {
+		rng := rand.New(rand.NewPCG(31, 32))
+		d := NewDummy(WithNodeReuse(reuse), WithMaxNodes(1<<16))
+		ref := spec.NewUnbounded()
+		next := MinUserValue
+		for step := 0; step < 3000; step++ {
+			switch rng.IntN(4) {
+			case 0:
+				if r := d.PushLeft(next); r != spec.Okay {
+					t.Fatalf("step %d: pushLeft %v", step, r)
+				}
+				ref.PushLeft(next)
+				next++
+			case 1:
+				if r := d.PushRight(next); r != spec.Okay {
+					t.Fatalf("step %d: pushRight %v", step, r)
+				}
+				ref.PushRight(next)
+				next++
+			case 2:
+				gv, gr := d.PopLeft()
+				wv, wr := ref.PopLeft()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					t.Fatalf("step %d: popLeft (%d,%v) want (%d,%v)", step, gv, gr, wv, wr)
+				}
+			case 3:
+				gv, gr := d.PopRight()
+				wv, wr := ref.PopRight()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					t.Fatalf("step %d: popRight (%d,%v) want (%d,%v)", step, gv, gr, wv, wr)
+				}
+			}
+			if err := d.CheckRepInv(); err != nil {
+				t.Fatalf("step %d (reuse=%v): %v", step, reuse, err)
+			}
+		}
+	}
+}
+
+// TestDummyTwoNullContention: the Figure 16 scenario on the dummy
+// representation; all four auxiliary nodes (two nulls, two dummies) must
+// be reclaimed whatever the race outcome.
+func TestDummyTwoNullContention(t *testing.T) {
+	for round := 0; round < 1000; round++ {
+		d := NewDummy()
+		d.PushRight(10)
+		d.PushRight(20)
+		d.PopLeft()
+		d.PopRight()
+		st, _ := d.Snapshot()
+		if !st.LeftDeleted || !st.RightDeleted {
+			t.Fatalf("setup failed: %+v", st)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var rL, rR spec.Result
+		go func() { defer wg.Done(); _, rL = d.PopLeft() }()
+		go func() { defer wg.Done(); _, rR = d.PopRight() }()
+		wg.Wait()
+		if rL != spec.Empty || rR != spec.Empty {
+			t.Fatalf("round %d: (%v, %v)", round, rL, rR)
+		}
+		if d.Arena().Live() != 2 {
+			t.Fatalf("round %d: %d nodes live, want 2", round, d.Arena().Live())
+		}
+		checkDummyInv(t, d)
+	}
+}
+
+// TestDummyConservation: concurrent pushers/poppers with value
+// conservation, heavy dummy churn.
+func TestDummyConservation(t *testing.T) {
+	d := NewDummy()
+	const (
+		pushers = 3
+		poppers = 3
+		perG    = 1500
+		total   = pushers * perG
+	)
+	var push, pop sync.WaitGroup
+	done := make(chan struct{})
+	popped := make([][]uint64, poppers)
+	for g := 0; g < pushers; g++ {
+		push.Add(1)
+		go func(g int) {
+			defer push.Done()
+			for i := 0; i < perG; i++ {
+				v := uint64(g*perG+i) + MinUserValue
+				if (g+i)%2 == 0 {
+					d.PushRight(v)
+				} else {
+					d.PushLeft(v)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < poppers; g++ {
+		pop.Add(1)
+		go func(g int) {
+			defer pop.Done()
+			for {
+				var v uint64
+				var r spec.Result
+				if g%2 == 0 {
+					v, r = d.PopLeft()
+				} else {
+					v, r = d.PopRight()
+				}
+				if r == spec.Okay {
+					popped[g] = append(popped[g], v)
+				} else {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+			}
+		}(g)
+	}
+	push.Wait()
+	close(done)
+	pop.Wait()
+	var rest []uint64
+	for {
+		v, r := d.PopLeft()
+		if r != spec.Okay {
+			break
+		}
+		rest = append(rest, v)
+	}
+	seen := map[uint64]int{}
+	for _, b := range popped {
+		for _, v := range b {
+			seen[v]++
+		}
+	}
+	for _, v := range rest {
+		seen[v]++
+	}
+	if len(seen) != total {
+		t.Fatalf("distinct values %d, want %d", len(seen), total)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+	checkDummyInv(t, d)
+	checkDummyAccounting(t, d)
+}
+
+func TestDummyStealRace(t *testing.T) {
+	for round := 0; round < 800; round++ {
+		d := NewDummy()
+		d.PushRight(7)
+		var vL, vR uint64
+		var rL, rR spec.Result
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); vL, rL = d.PopLeft() }()
+		go func() { defer wg.Done(); vR, rR = d.PopRight() }()
+		wg.Wait()
+		okCount := 0
+		if rL == spec.Okay {
+			okCount++
+			if vL != 7 {
+				t.Fatalf("left got %d", vL)
+			}
+		}
+		if rR == spec.Okay {
+			okCount++
+			if vR != 7 {
+				t.Fatalf("right got %d", vR)
+			}
+		}
+		if okCount != 1 {
+			t.Fatalf("round %d: %d winners (%v, %v)", round, okCount, rL, rR)
+		}
+		checkDummyInv(t, d)
+	}
+}
+
+func TestDummyAllocExhaustion(t *testing.T) {
+	// 6 nodes: 2 sentinels leave room for 2 items + their dummies, etc.
+	d := NewDummy(WithMaxNodes(6))
+	if r := d.PushRight(10); r != spec.Okay {
+		t.Fatalf("push = %v", r)
+	}
+	filled := 1
+	for {
+		if d.PushRight(uint64(filled)+MinUserValue+100) != spec.Okay {
+			break
+		}
+		filled++
+	}
+	// Pops must still work (a pop may need a dummy; with the arena
+	// full the pop completes pending deletions to free space).
+	for i := 0; i < filled; i++ {
+		if _, r := d.PopLeft(); r != spec.Okay {
+			t.Fatalf("pop %d failed with %v", i, r)
+		}
+	}
+	checkDummyInv(t, d)
+}

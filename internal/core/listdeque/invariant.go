@@ -1,0 +1,190 @@
+package listdeque
+
+import (
+	"fmt"
+
+	"dcasdeque/internal/tagptr"
+)
+
+// This file is the executable counterpart of the paper's proof artifacts
+// for the linked-list implementation: the representation invariant of
+// Figures 24 and 25 and the abstraction function used by the verification
+// conditions of Figures 26–29.  The same obligations are discharged by
+// enumeration in the model checker (internal/verify/model); here they are
+// checked on quiescent snapshots after unit-test operations.
+
+// NodeState is one node in a structural snapshot of the list.
+type NodeState struct {
+	Idx   uint32
+	L, R  tagptr.Word
+	Value uint64
+}
+
+// Snapshot is an instantaneous structural view of the deque: the node
+// sequence from the left sentinel to the right sentinel, inclusive.
+// Snapshots are meaningful only when taken without concurrent operations.
+type Snapshot struct {
+	// Seq is the paper's auxiliary sequence variable S[L..R]: Seq[0] is the
+	// left sentinel and Seq[len-1] the right sentinel.
+	Seq []NodeState
+	// LeftDeleted and RightDeleted are the deleted bits of SL->R and SR->L.
+	LeftDeleted, RightDeleted bool
+}
+
+// Snapshot walks the chain of R pointers from SL to SR.  It must only be
+// called while no operations are in flight; it fails (rather than hangs)
+// if the chain is corrupt.
+func (d *Deque) Snapshot() (Snapshot, error) {
+	var st Snapshot
+	limit := d.ar.Live() + 2 // structural walk must terminate well before this
+	idx := d.sl
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			return st, fmt.Errorf("listdeque: R-chain does not reach SR within %d steps (cycle?)", limit)
+		}
+		n := d.node(idx)
+		ns := NodeState{Idx: idx, L: n.l.Load(), R: n.r.Load(), Value: n.val.Load()}
+		st.Seq = append(st.Seq, ns)
+		if idx == d.sr {
+			break
+		}
+		next, ok := tagptr.Idx(ns.R)
+		if !ok {
+			return st, fmt.Errorf("listdeque: nil R pointer at node %d before reaching SR", idx)
+		}
+		idx = next
+	}
+	st.LeftDeleted = tagptr.Deleted(d.node(d.sl).r.Load())
+	st.RightDeleted = tagptr.Deleted(d.node(d.sr).l.Load())
+	return st, nil
+}
+
+// RepInv checks the representation invariant of Figures 24/25 on a
+// snapshot, returning nil if it holds or an error naming the violated
+// conjunct with the paper's label.
+func (d *Deque) RepInv(st Snapshot) error { return RepInvFor(st, d.sl, d.sr) }
+
+// RepInvFor is the representation invariant as a standalone predicate over
+// a structural snapshot with the given sentinel indices.  It is shared
+// with the model checker, which verifies the same executable invariant
+// over its simulated memory.
+func RepInvFor(st Snapshot, sl, sr uint32) error {
+	k := len(st.Seq)
+	// SequenceBounds / RBiggerThanL: at least the two sentinels, in order.
+	if k < 2 {
+		return fmt.Errorf("RepInv/RBiggerThanL: sequence has %d nodes, need ≥ 2", k)
+	}
+	// LeftSent / RightSent: the end elements are the sentinels with their
+	// permanent special values.
+	if st.Seq[0].Idx != sl || st.Seq[0].Value != SentL {
+		return fmt.Errorf("RepInv/LeftSent: first node %d value %d", st.Seq[0].Idx, st.Seq[0].Value)
+	}
+	if st.Seq[k-1].Idx != sr || st.Seq[k-1].Value != SentR {
+		return fmt.Errorf("RepInv/RightSent: last node %d value %d", st.Seq[k-1].Idx, st.Seq[k-1].Value)
+	}
+	// DistinctNodes: all elements of the sequence are distinct.
+	seen := make(map[uint32]bool, k)
+	for _, ns := range st.Seq {
+		if seen[ns.Idx] {
+			return fmt.Errorf("RepInv/DistinctNodes: node %d appears twice", ns.Idx)
+		}
+		seen[ns.Idx] = true
+	}
+	// OnlySentinelsHaveSpecialValues: interior nodes hold null or a real
+	// value, never sentL/sentR.
+	for _, ns := range st.Seq[1 : k-1] {
+		if ns.Value == SentL || ns.Value == SentR {
+			return fmt.Errorf("RepInv/SentinelValues: interior node %d holds sentinel value %d", ns.Idx, ns.Value)
+		}
+	}
+	// RightPointers / LeftPointers: consecutive sequence elements point at
+	// each other (the nodes form a doubly-linked list).  The inward
+	// sentinel pointers may carry the deleted bit; all other pointers'
+	// deleted bits are false.
+	for i := 0; i+1 < k; i++ {
+		a, b := st.Seq[i], st.Seq[i+1]
+		if ai, ok := tagptr.Idx(a.R); !ok || ai != b.Idx {
+			return fmt.Errorf("RepInv/RightPointers: node %d R does not reach node %d", a.Idx, b.Idx)
+		}
+		if bi, ok := tagptr.Idx(b.L); !ok || bi != a.Idx {
+			return fmt.Errorf("RepInv/LeftPointers: node %d L does not reach node %d", b.Idx, a.Idx)
+		}
+		// Deleted bits may appear only on SL->R (i == 0) and SR->L
+		// (i+1 == k-1).
+		if tagptr.Deleted(a.R) && i != 0 {
+			return fmt.Errorf("RepInv/DeletedBits: interior R pointer of node %d marked deleted", a.Idx)
+		}
+		if tagptr.Deleted(b.L) && i+1 != k-1 {
+			return fmt.Errorf("RepInv/DeletedBits: interior L pointer of node %d marked deleted", b.Idx)
+		}
+	}
+	// The four NonDelNonSentNodesHaveRealVals conjuncts of Figure 25,
+	// stated positively: a null value may appear only in the node adjacent
+	// to a sentinel whose inward pointer is marked deleted, and such a
+	// marked node must be null.
+	for i := 1; i < k-1; i++ {
+		ns := st.Seq[i]
+		isRightMarked := st.RightDeleted && i == k-2
+		isLeftMarked := st.LeftDeleted && i == 1
+		if ns.Value == Null && !isRightMarked && !isLeftMarked {
+			return fmt.Errorf("RepInv/NonDelNonSentNodesHaveRealVals: unmarked interior node %d is null", ns.Idx)
+		}
+		if (isRightMarked || isLeftMarked) && ns.Value != Null {
+			return fmt.Errorf("RepInv/MarkedNodesAreNull: marked node %d holds value %d", ns.Idx, ns.Value)
+		}
+	}
+	// A deleted bit requires a non-sentinel node to be marked.
+	if st.RightDeleted && k == 2 {
+		return fmt.Errorf("RepInv/DeletedBits: SR->L marked deleted but points at SL")
+	}
+	if st.LeftDeleted && k == 2 {
+		return fmt.Errorf("RepInv/DeletedBits: SL->R marked deleted but points at SR")
+	}
+	// Two marks require two distinct marked nodes.
+	if st.LeftDeleted && st.RightDeleted && k < 4 {
+		return fmt.Errorf("RepInv/DeletedBits: both ends marked with only %d interior nodes", k-2)
+	}
+	return nil
+}
+
+// Abstract applies the abstraction function to a snapshot: the abstract
+// deque value is the sequence of values of interior nodes that are not
+// logically deleted (the paper's AbsFunc skips a marked node at either
+// end, cf. Figure 29's AbsValPreserved obligation for physical deletion).
+func Abstract(st Snapshot) []uint64 {
+	k := len(st.Seq)
+	var items []uint64
+	for i := 1; i < k-1; i++ {
+		if st.LeftDeleted && i == 1 {
+			continue
+		}
+		if st.RightDeleted && i == k-2 {
+			continue
+		}
+		items = append(items, st.Seq[i].Value)
+	}
+	return items
+}
+
+// CheckRepInv takes a snapshot and verifies the representation invariant.
+// Quiescence is the caller's responsibility.
+func (d *Deque) CheckRepInv() error {
+	st, err := d.Snapshot()
+	if err != nil {
+		return err
+	}
+	return d.RepInv(st)
+}
+
+// Items returns the abstract value of the deque (left to right).  It must
+// only be called while no operations are in flight.
+func (d *Deque) Items() ([]uint64, error) {
+	st, err := d.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.RepInv(st); err != nil {
+		return nil, err
+	}
+	return Abstract(st), nil
+}

@@ -1,0 +1,222 @@
+package listdeque
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/tagptr"
+)
+
+// TestQuickProgramsMatchSpec property-checks quick-generated programs
+// against the sequential specification across representations and
+// reclamation modes, with the representation invariant after every step.
+func TestQuickProgramsMatchSpec(t *testing.T) {
+	f := func(prog []uint8, useDummy, reuse bool) bool {
+		type deq interface {
+			PushLeft(uint64) spec.Result
+			PushRight(uint64) spec.Result
+			PopLeft() (uint64, spec.Result)
+			PopRight() (uint64, spec.Result)
+			CheckRepInv() error
+			Items() ([]uint64, error)
+		}
+		var d deq
+		if useDummy {
+			d = NewDummy(WithNodeReuse(reuse), WithMaxNodes(4096))
+		} else {
+			d = New(WithNodeReuse(reuse), WithMaxNodes(4096))
+		}
+		ref := spec.NewUnbounded()
+		next := MinUserValue
+		for _, op := range prog {
+			switch op % 4 {
+			case 0:
+				if d.PushLeft(next) != ref.PushLeft(next) {
+					return false
+				}
+				next++
+			case 1:
+				if d.PushRight(next) != ref.PushRight(next) {
+					return false
+				}
+				next++
+			case 2:
+				gv, gr := d.PopLeft()
+				wv, wr := ref.PopLeft()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					return false
+				}
+			case 3:
+				gv, gr := d.PopRight()
+				wv, wr := ref.PopRight()
+				if gr != wr || (gr == spec.Okay && gv != wv) {
+					return false
+				}
+			}
+			if d.CheckRepInv() != nil {
+				return false
+			}
+		}
+		items, err := d.Items()
+		if err != nil {
+			return false
+		}
+		want := ref.Items()
+		if len(items) != len(want) {
+			return false
+		}
+		for i := range items {
+			if items[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepInvRejectsCorruption mutation-tests the Figures 24/25 invariant
+// checker on structurally corrupted snapshots.
+func TestRepInvRejectsCorruption(t *testing.T) {
+	d := New()
+	d.PushRight(10)
+	d.PushRight(20)
+	good, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepInv(good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	corrupt := func(mutate func(*Snapshot)) error {
+		st, _ := d.Snapshot()
+		mutate(&st)
+		return d.RepInv(st)
+	}
+
+	// Broken back-pointer (LeftPointers conjunct).
+	if corrupt(func(st *Snapshot) {
+		st.Seq[2].L = tagptr.Pack(st.Seq[0].Idx, 0, false)
+	}) == nil {
+		t.Fatal("broken doubly-linked structure accepted")
+	}
+	// Interior node with a sentinel value.
+	if corrupt(func(st *Snapshot) { st.Seq[1].Value = SentL }) == nil {
+		t.Fatal("interior sentinel value accepted")
+	}
+	// Unmarked interior null (NonDelNonSentNodesHaveRealVals).
+	if corrupt(func(st *Snapshot) { st.Seq[1].Value = Null }) == nil {
+		t.Fatal("unmarked null node accepted")
+	}
+	// Marked node holding a real value.
+	if corrupt(func(st *Snapshot) {
+		st.RightDeleted = true
+		st.Seq[len(st.Seq)-1].L = tagptr.WithDeleted(st.Seq[len(st.Seq)-1].L, true)
+	}) == nil {
+		t.Fatal("marked node with real value accepted")
+	}
+	// Duplicate node in the sequence (DistinctNodes).
+	if corrupt(func(st *Snapshot) { st.Seq[2].Idx = st.Seq[1].Idx }) == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	// Interior deleted bit (DeletedBits).
+	if corrupt(func(st *Snapshot) {
+		st.Seq[1].R = tagptr.WithDeleted(st.Seq[1].R, true)
+	}) == nil {
+		t.Fatal("interior deleted bit accepted")
+	}
+	// Sentinel-only chain with a dangling mark.
+	empty := New()
+	st, _ := empty.Snapshot()
+	st.RightDeleted = true
+	st.Seq[1].L = tagptr.WithDeleted(st.Seq[1].L, true)
+	if empty.RepInv(st) == nil {
+		t.Fatal("mark pointing at a sentinel accepted")
+	}
+}
+
+// TestAbstractSkipsMarkedEnds checks the abstraction function directly on
+// the four Figure 9 states plus mixed states.
+func TestAbstractSkipsMarkedEnds(t *testing.T) {
+	// items with a right mark: [10, 20, null(marked)]
+	d := New()
+	d.PushRight(10)
+	d.PushRight(20)
+	d.PushRight(30)
+	d.PopRight() // marks 30's node
+	st, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := Abstract(st)
+	if len(items) != 2 || items[0] != 10 || items[1] != 20 {
+		t.Fatalf("abstract %v, want [10 20]", items)
+	}
+	// Add a left mark too.
+	d.PopLeft() // pops 10, marks its node
+	st, err = d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.LeftDeleted || !st.RightDeleted {
+		t.Fatalf("marks missing: %+v", st)
+	}
+	items = Abstract(st)
+	if len(items) != 1 || items[0] != 20 {
+		t.Fatalf("abstract %v, want [20]", items)
+	}
+}
+
+// TestMixedRepresentationEquivalenceQuick is the quick-check version of
+// the dummy/bit equivalence test with per-step abstract-state comparison.
+func TestMixedRepresentationEquivalenceQuick(t *testing.T) {
+	f := func(prog []uint8) bool {
+		bit := New()
+		dum := NewDummy()
+		next := MinUserValue
+		for _, op := range prog {
+			switch op % 4 {
+			case 0:
+				if bit.PushLeft(next) != dum.PushLeft(next) {
+					return false
+				}
+				next++
+			case 1:
+				if bit.PushRight(next) != dum.PushRight(next) {
+					return false
+				}
+				next++
+			case 2:
+				vb, rb := bit.PopLeft()
+				vd, rd := dum.PopLeft()
+				if rb != rd || vb != vd {
+					return false
+				}
+			case 3:
+				vb, rb := bit.PopRight()
+				vd, rd := dum.PopRight()
+				if rb != rd || vb != vd {
+					return false
+				}
+			}
+			ib, err1 := bit.Items()
+			id, err2 := dum.Items()
+			if err1 != nil || err2 != nil || len(ib) != len(id) {
+				return false
+			}
+			for i := range ib {
+				if ib[i] != id[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

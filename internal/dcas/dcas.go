@@ -1,0 +1,231 @@
+// Package dcas provides the double-compare-and-swap (DCAS) primitive of
+// Figure 1 of "DCAS-Based Concurrent Deques" (Agesen et al., SPAA 2000),
+// together with the shared-memory location type the deque algorithms
+// operate on.
+//
+// The paper assumes DCAS is executed atomically "either through hardware
+// support, through a non-blocking software emulation, or via a blocking
+// software emulation".  No shipping hardware provides DCAS, so this package
+// supplies blocking software emulations behind the Provider interface:
+//
+//   - TwoLock: a fine-grained emulation that locks only the two addressed
+//     locations (deadlock-free via a lock/try-lock protocol with a rescue
+//     mutex).  Operations on disjoint location pairs proceed in parallel,
+//     which preserves the paper's central claim that the two deque ends can
+//     be accessed concurrently.
+//   - GlobalLock: a single mutex per provider instance.  All DCAS
+//     operations serialize; used as an ablation baseline.
+//
+// Single-location reads and writes remain individually atomic (sync/atomic)
+// and are linearizable with respect to DCAS: a DCAS validates both old
+// values and performs both stores while holding the locations' locks, so
+// another DCAS can never observe or interleave with a half-applied DCAS.
+// A plain Load may observe one store of an in-flight DCAS before the other;
+// the deque algorithms tolerate this because every decision derived from
+// plain loads is re-validated by a subsequent DCAS, except for reads the
+// paper itself proves safe from single-location atomicity (e.g. observing
+// the immutable sentinel values).
+//
+// Both forms of Figure 1 are provided: DCAS (boolean result) and DCASView
+// (returns an atomic view of the two locations whether or not the
+// comparison succeeded), mirroring the value-argument and
+// pointer-to-old-value-argument variants.
+package dcas
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Loc is a single shared-memory location holding one 64-bit word.  It is
+// the unit on which Read, Write, CAS and DCAS operate.  The zero value is a
+// valid location holding 0.
+//
+// Loc corresponds to a memory word L in the paper's machine model
+// (Section 2): Read_i(L), Write_i(L, v) and DCAS_i(L1, L2, ...).
+type Loc struct {
+	mu sync.Mutex
+	// id is a process-wide unique lock-ordering token, assigned lazily on
+	// the location's first DCAS so that the zero value needs no
+	// initialization.  Go provides no portable, GC-stable address order,
+	// so an explicit total order is maintained instead.
+	id atomic.Uint64
+	v  atomic.Uint64
+}
+
+// locIDs hands out lock-ordering tokens; 0 means "not yet assigned".
+var locIDs atomic.Uint64
+
+// lockID returns the location's ordering token, assigning one on first use.
+func (l *Loc) lockID() uint64 {
+	if id := l.id.Load(); id != 0 {
+		return id
+	}
+	id := locIDs.Add(1)
+	if l.id.CompareAndSwap(0, id) {
+		return id
+	}
+	return l.id.Load()
+}
+
+// Load atomically reads the location (Read_i(L) in the paper's model).
+func (l *Loc) Load() uint64 { return l.v.Load() }
+
+// Store atomically writes the location (Write_i(L, v) in the paper's
+// model).  It acquires the location's lock so that it linearizes with any
+// in-flight DCAS touching the same location.
+func (l *Loc) Store(v uint64) {
+	l.mu.Lock()
+	l.v.Store(v)
+	l.mu.Unlock()
+}
+
+// Init writes the location without acquiring its lock.  It must only be
+// used before the location is shared (e.g. while constructing a deque or
+// initializing a freshly allocated node that no other thread can reach).
+func (l *Loc) Init(v uint64) { l.v.Store(v) }
+
+// CAS atomically compares the location with old and, if equal, stores new.
+// It acquires the location's lock so that it linearizes with DCAS
+// operations on the same location.  (Baselines that never mix CAS with
+// DCAS, such as the ABP deque, use raw sync/atomic instead.)
+func (l *Loc) CAS(old, new uint64) bool {
+	l.mu.Lock()
+	ok := l.v.Load() == old
+	if ok {
+		l.v.Store(new)
+	}
+	l.mu.Unlock()
+	return ok
+}
+
+// Provider supplies the two DCAS forms of Figure 1.  Implementations must
+// guarantee that the comparison and both stores take effect atomically with
+// respect to every other Provider operation and every Loc method.
+type Provider interface {
+	// DCAS is the weak form of Figure 1: if *a1 == o1 and *a2 == o2, it
+	// stores n1 and n2 and reports true; otherwise it changes nothing and
+	// reports false.  a1 and a2 must be distinct locations.
+	DCAS(a1, a2 *Loc, o1, o2, n1, n2 uint64) bool
+
+	// DCASView is the strong form of Figure 1 (third and fourth arguments
+	// passed as pointers in the paper): it behaves like DCAS but always
+	// returns an atomic view (v1, v2) of the two locations taken at the
+	// linearization point, whether the operation succeeded or failed.
+	DCASView(a1, a2 *Loc, o1, o2, n1, n2 uint64) (v1, v2 uint64, ok bool)
+}
+
+// TwoLock is the default DCAS emulation.  It locks exactly the two
+// addressed locations, so DCAS operations on disjoint pairs of locations
+// run concurrently.  Deadlock between two overlapping DCAS operations is
+// avoided by acquiring the locks in a fixed total order given by each
+// location's lazily-assigned ordering token; both acquisitions block, so
+// waiting goroutines park instead of spinning and the lock holder is never
+// starved of CPU.
+//
+// The zero value is ready to use.  A TwoLock value must not be copied
+// after first use.
+type TwoLock struct{}
+
+// lockPair acquires the locks of both locations in ID order.  On return
+// both locks are held; the caller must release both.
+func (p *TwoLock) lockPair(a1, a2 *Loc) {
+	if a1.lockID() > a2.lockID() {
+		a1, a2 = a2, a1
+	}
+	a1.mu.Lock()
+	a2.mu.Lock()
+}
+
+// DCAS implements the weak form of Figure 1.
+func (p *TwoLock) DCAS(a1, a2 *Loc, o1, o2, n1, n2 uint64) bool {
+	if a1 == a2 {
+		panic("dcas: DCAS requires two distinct locations")
+	}
+	p.lockPair(a1, a2)
+	ok := a1.v.Load() == o1 && a2.v.Load() == o2
+	if ok {
+		a1.v.Store(n1)
+		a2.v.Store(n2)
+	}
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+	return ok
+}
+
+// DCASView implements the strong form of Figure 1.
+func (p *TwoLock) DCASView(a1, a2 *Loc, o1, o2, n1, n2 uint64) (v1, v2 uint64, ok bool) {
+	if a1 == a2 {
+		panic("dcas: DCASView requires two distinct locations")
+	}
+	p.lockPair(a1, a2)
+	v1 = a1.v.Load()
+	v2 = a2.v.Load()
+	ok = v1 == o1 && v2 == o2
+	if ok {
+		a1.v.Store(n1)
+		a2.v.Store(n2)
+	}
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+	return v1, v2, ok
+}
+
+// GlobalLock is a coarse DCAS emulation: every operation serializes on one
+// mutex.  It is the simplest correct emulation and serves as the ablation
+// baseline for measuring what fine-grained locking buys (experiment B6).
+//
+// The zero value is ready to use.  A GlobalLock value must not be copied
+// after first use.
+//
+// Note that plain Loc.Store and Loc.CAS acquire per-location locks, not the
+// global mutex; GlobalLock is nevertheless correct for the deque algorithms
+// because they never Store a shared location after construction, but mixed
+// use of Loc.CAS and GlobalLock DCAS on the same location is not
+// linearizable and must be avoided.
+type GlobalLock struct {
+	mu sync.Mutex
+}
+
+// DCAS implements the weak form of Figure 1 under the provider's single mutex.
+func (p *GlobalLock) DCAS(a1, a2 *Loc, o1, o2, n1, n2 uint64) bool {
+	if a1 == a2 {
+		panic("dcas: DCAS requires two distinct locations")
+	}
+	p.mu.Lock()
+	ok := a1.v.Load() == o1 && a2.v.Load() == o2
+	if ok {
+		a1.v.Store(n1)
+		a2.v.Store(n2)
+	}
+	p.mu.Unlock()
+	return ok
+}
+
+// DCASView implements the strong form of Figure 1 under the provider's
+// single mutex.
+func (p *GlobalLock) DCASView(a1, a2 *Loc, o1, o2, n1, n2 uint64) (v1, v2 uint64, ok bool) {
+	if a1 == a2 {
+		panic("dcas: DCASView requires two distinct locations")
+	}
+	p.mu.Lock()
+	v1 = a1.v.Load()
+	v2 = a2.v.Load()
+	ok = v1 == o1 && v2 == o2
+	if ok {
+		a1.v.Store(n1)
+		a2.v.Store(n2)
+	}
+	p.mu.Unlock()
+	return v1, v2, ok
+}
+
+// Default returns the provider used when a deque is constructed without an
+// explicit choice: a fresh TwoLock.
+func Default() Provider { return new(TwoLock) }
+
+// Compile-time interface checks.
+var (
+	_ Provider = (*TwoLock)(nil)
+	_ Provider = (*GlobalLock)(nil)
+)

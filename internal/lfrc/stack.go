@@ -1,0 +1,75 @@
+package lfrc
+
+import "dcasdeque/internal/dcas"
+
+// Stack is a Treiber-style lock-free stack whose nodes are reclaimed by
+// LFRC instead of a garbage collector — the demonstration structure for
+// the methodology of [12] applied to the kind of linked structure the
+// deque uses.  All methods are safe for concurrent use.
+type Stack struct {
+	pool *Pool[stackNode]
+	head dcas.Loc // Ref to the top node, or Nil
+}
+
+type stackNode struct {
+	next Ref
+	val  uint64
+}
+
+// NewStack returns an empty stack backed by a pool of the given capacity.
+func NewStack(capacity int, prov dcas.Provider) *Stack {
+	s := &Stack{}
+	s.pool = NewPool[stackNode](capacity, prov, func(n *stackNode, release func(Ref)) {
+		release(n.next) // a dying node drops its reference to the next node
+	})
+	return s
+}
+
+// Live reports the number of live nodes (for leak checking).
+func (s *Stack) Live() int { return s.pool.Live() }
+
+// Push adds v on top.  It reports false if the node pool is exhausted.
+func (s *Stack) Push(v uint64) bool {
+	n, ok := s.pool.New(stackNode{val: v})
+	if !ok {
+		return false
+	}
+	for {
+		h := s.pool.Load(&s.head) // owned ref to current top (or Nil)
+		node := s.pool.Get(n)
+		node.next = h // the field takes over our Load reference to h
+		if s.pool.CAS(&s.head, h, n) {
+			// Ledger on success: the CAS moved head's reference from h to
+			// n (AddRef(n) + Release(h) inside CAS); our Load reference to
+			// h now lives in n.next; only our local reference to n is
+			// left to drop.
+			s.pool.Release(n)
+			return true
+		}
+		// Retry: reclaim this round's Load reference; the field will be
+		// overwritten next iteration.
+		if h != Nil {
+			s.pool.Release(h)
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok is false when the stack is
+// empty.
+func (s *Stack) Pop() (uint64, bool) {
+	for {
+		h := s.pool.Load(&s.head)
+		if h == Nil {
+			return 0, false
+		}
+		next := s.pool.Get(h).next
+		// We own a ref to h, so h cannot die and h.next is stable enough
+		// to read; but next itself is only safely usable under h's ref.
+		if s.pool.CAS(&s.head, h, next) {
+			v := s.pool.Get(h).val
+			s.pool.Release(h) // our local reference
+			return v, true
+		}
+		s.pool.Release(h)
+	}
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketMonotonic(t *testing.T) {
+	// bucketOf must be monotone non-decreasing and bucketLow must be a
+	// left inverse lower bound.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 7, 8, 9, 15, 16, 100, 1023, 1024, 1 << 20, 1 << 40} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+		if low := bucketLow(b); low > v {
+			t.Fatalf("bucketLow(%d) = %d > %d", b, low, v)
+		}
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			return bucketOf(0) == 0
+		}
+		b := bucketOf(v)
+		low := bucketLow(b)
+		high := bucketLow(b + 1)
+		if v < low {
+			return false
+		}
+		if high == ^uint64(0) {
+			// Top bucket: the upper bound saturates; only the lower bound
+			// applies.
+			return true
+		}
+		// v must lie in [low, high) and the bucket width must be ≤ 12.5%
+		// of low once past the linear region.
+		if v >= high {
+			return false
+		}
+		if low >= 8 && float64(high-low) > 0.1251*float64(low) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram has non-zero stats")
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %f", m)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 450 || p50 > 600 {
+		t.Fatalf("p50 = %d (bucketed upper bound of ~500)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900 || p99 > 1200 {
+		t.Fatalf("p99 = %d", p99)
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) < h.Quantile(1)-1 {
+		t.Fatal("quantile clamping broken")
+	}
+	if !strings.Contains(h.Summary(), "n=1000") {
+		t.Fatalf("summary: %s", h.Summary())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	rng := rand.New(rand.NewPCG(1, 2))
+	var all []uint64
+	for i := 0; i < 2000; i++ {
+		v := uint64(rng.IntN(1 << 20))
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	var whole Histogram
+	for _, v := range all {
+		whole.Record(v)
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() || a.Mean() != whole.Mean() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged histogram differs from whole")
+	}
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("quantile %f differs after merge", q)
+		}
+	}
+	a.Reset()
+	if a.N() != 0 || a.Max() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRecordSince(t *testing.T) {
+	var h Histogram
+	start := time.Now()
+	h.RecordSince(start)
+	if h.N() != 1 {
+		t.Fatal("RecordSince did not record")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Ops: 1000, Elapsed: 2 * time.Second}
+	if tp.PerSecond() != 500 {
+		t.Fatalf("PerSecond = %f", tp.PerSecond())
+	}
+	if (Throughput{Ops: 5}).PerSecond() != 0 {
+		t.Fatal("zero-elapsed throughput not 0")
+	}
+	if !strings.Contains(tp.String(), "500 ops/s") {
+		t.Fatalf("String = %s", tp.String())
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("impl", "threads", "ops/s")
+	tb.AddRow("array", 4, 123456.789)
+	tb.AddRow("list-deque-long-name", 16, 9.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "impl") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header/separator malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "123456.79") {
+		t.Fatalf("float formatting: %s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "impl,threads,ops/s\n") {
+		t.Fatalf("CSV header: %s", csv)
+	}
+	if !strings.Contains(csv, "array,4,123456.79") {
+		t.Fatalf("CSV row: %s", csv)
+	}
+}

@@ -1,0 +1,211 @@
+// Package spec provides the sequential specification of a deque from
+// Section 2.2 of "DCAS-Based Concurrent Deques" (Agesen et al., SPAA 2000),
+// plus the algebraic deque model of Figure 35 used by the paper's
+// mechanical proofs.
+//
+// Two models are provided:
+//
+//   - Deque: the operational state machine of Section 2.2 — a bounded (or
+//     unbounded) sequence with pushLeft/pushRight/popLeft/popRight
+//     transitions and "okay"/"full"/"empty" results.  It is the oracle for
+//     linearizability checking and model checking.
+//   - Term: the algebraic model of Figure 35 — terms built from EmptyQ,
+//     singleton and concat, with pushL/pushR/popL/popR/peekL/peekR/len
+//     defined by the paper's axioms.  Property tests validate every axiom
+//     and the equivalence of the two models (experiment F35).
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Val is an abstract deque element.  The concrete deques store 64-bit
+// words; 0 is reserved as the distinguished "null" and never appears in a
+// deque.
+type Val = uint64
+
+// Result enumerates the possible responses of a deque operation, per the
+// sequential specification: pushes return Okay or Full, pops return a
+// value (Okay) or Empty.
+type Result uint8
+
+// Operation responses of Section 2.2.
+const (
+	Okay Result = iota
+	Empty
+	Full
+)
+
+// String returns the paper's name for the result ("okay", "empty", "full").
+func (r Result) String() string {
+	switch r {
+	case Okay:
+		return "okay"
+	case Empty:
+		return "empty"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Result(%d)", uint8(r))
+	}
+}
+
+// Unbounded is the capacity of an unbounded deque (the linked-list
+// specification: push never returns Full).
+const Unbounded = -1
+
+// Deque is the sequential deque state machine of Section 2.2: a sequence
+// S = ⟨v0, ..., vk⟩ with 0 ≤ |S| ≤ capacity.  The zero value is not
+// meaningful; use New or NewUnbounded.
+type Deque struct {
+	items    []Val
+	capacity int // Unbounded or ≥ 1
+}
+
+// New returns an empty bounded deque created by make_deque(length_S); it
+// panics if capacity < 1, matching the specification's length_S ≥ 1.
+func New(capacity int) *Deque {
+	if capacity < 1 {
+		panic("spec: capacity must be ≥ 1")
+	}
+	return &Deque{capacity: capacity}
+}
+
+// NewUnbounded returns an empty unbounded deque (the linked-list variant's
+// make_deque, which takes no length).
+func NewUnbounded() *Deque {
+	return &Deque{capacity: Unbounded}
+}
+
+// FromSlice returns a deque holding exactly items (left to right), with the
+// given capacity (Unbounded allowed).  It panics if items exceed capacity.
+func FromSlice(items []Val, capacity int) *Deque {
+	if capacity != Unbounded && len(items) > capacity {
+		panic("spec: more items than capacity")
+	}
+	d := &Deque{capacity: capacity}
+	d.items = append(d.items, items...)
+	return d
+}
+
+// Len reports the cardinality |S|.
+func (d *Deque) Len() int { return len(d.items) }
+
+// Cap reports the deque's capacity, or Unbounded.
+func (d *Deque) Cap() int { return d.capacity }
+
+// IsEmpty reports |S| == 0.
+func (d *Deque) IsEmpty() bool { return len(d.items) == 0 }
+
+// IsFull reports |S| == length_S for bounded deques; always false for
+// unbounded deques.
+func (d *Deque) IsFull() bool {
+	return d.capacity != Unbounded && len(d.items) == d.capacity
+}
+
+// Items returns a copy of the sequence, left to right.
+func (d *Deque) Items() []Val {
+	out := make([]Val, len(d.items))
+	copy(out, d.items)
+	return out
+}
+
+// Clone returns an independent copy of the deque.
+func (d *Deque) Clone() *Deque {
+	return &Deque{items: d.Items(), capacity: d.capacity}
+}
+
+// Equal reports whether two deques hold the same sequence.  Capacity is
+// not compared: the abstract value of Section 2.2 is the sequence alone.
+func (d *Deque) Equal(o *Deque) bool {
+	if len(d.items) != len(o.items) {
+		return false
+	}
+	for i, v := range d.items {
+		if v != o.items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PushRight applies pushRight(v): if S is not full, S becomes
+// ⟨v0, ..., vk, v⟩ and the result is Okay; if S is full, S is unchanged
+// and the result is Full.
+func (d *Deque) PushRight(v Val) Result {
+	if d.IsFull() {
+		return Full
+	}
+	d.items = append(d.items, v)
+	return Okay
+}
+
+// PushLeft applies pushLeft(v): if S is not full, S becomes
+// ⟨v, v0, ..., vk⟩ and the result is Okay; if S is full, S is unchanged
+// and the result is Full.
+func (d *Deque) PushLeft(v Val) Result {
+	if d.IsFull() {
+		return Full
+	}
+	d.items = append(d.items, 0)
+	copy(d.items[1:], d.items)
+	d.items[0] = v
+	return Okay
+}
+
+// PopRight applies popRight(): if S is not empty, S becomes
+// ⟨v0, ..., vk-1⟩ and (vk, Okay) is returned; if S is empty, S is
+// unchanged and (0, Empty) is returned.
+func (d *Deque) PopRight() (Val, Result) {
+	if d.IsEmpty() {
+		return 0, Empty
+	}
+	v := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return v, Okay
+}
+
+// PopLeft applies popLeft(): if S is not empty, S becomes ⟨v1, ..., vk⟩
+// and (v0, Okay) is returned; if S is empty, S is unchanged and (0, Empty)
+// is returned.
+func (d *Deque) PopLeft() (Val, Result) {
+	if d.IsEmpty() {
+		return 0, Empty
+	}
+	v := d.items[0]
+	d.items = d.items[1:]
+	return v, Okay
+}
+
+// String renders the sequence in the paper's ⟨v0, ..., vk⟩ notation.
+func (d *Deque) String() string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, v := range d.items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteString("⟩")
+	return b.String()
+}
+
+// Key returns a compact canonical encoding of the sequence, suitable as a
+// map key for memoization in the linearizability checker and model checker.
+func (d *Deque) Key() string {
+	var b strings.Builder
+	b.Grow(len(d.items) * 3)
+	for _, v := range d.items {
+		// Little-endian base-128 varint: continuation bytes have the high
+		// bit set, the terminal byte does not, so the concatenation of
+		// encodings is self-delimiting and therefore injective.
+		for v >= 0x80 {
+			b.WriteByte(byte(v) | 0x80)
+			v >>= 7
+		}
+		b.WriteByte(byte(v))
+	}
+	return b.String()
+}

@@ -1,0 +1,320 @@
+package spec
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestSection22Example replays the exact example run of Section 2.2:
+// pushRight(1); pushLeft(2); pushRight(3); popLeft()=2; popLeft()=1.
+func TestSection22Example(t *testing.T) {
+	d := New(10)
+	if r := d.PushRight(1); r != Okay {
+		t.Fatalf("pushRight(1) = %v", r)
+	}
+	if !d.Equal(FromSlice([]Val{1}, 10)) {
+		t.Fatalf("state %v, want ⟨1⟩", d)
+	}
+	if r := d.PushLeft(2); r != Okay {
+		t.Fatalf("pushLeft(2) = %v", r)
+	}
+	if !d.Equal(FromSlice([]Val{2, 1}, 10)) {
+		t.Fatalf("state %v, want ⟨2, 1⟩", d)
+	}
+	if r := d.PushRight(3); r != Okay {
+		t.Fatalf("pushRight(3) = %v", r)
+	}
+	if !d.Equal(FromSlice([]Val{2, 1, 3}, 10)) {
+		t.Fatalf("state %v, want ⟨2, 1, 3⟩", d)
+	}
+	v, r := d.PopLeft()
+	if r != Okay || v != 2 {
+		t.Fatalf("popLeft = (%d, %v), want (2, okay)", v, r)
+	}
+	v, r = d.PopLeft()
+	if r != Okay || v != 1 {
+		t.Fatalf("popLeft = (%d, %v), want (1, okay)", v, r)
+	}
+	if !d.Equal(FromSlice([]Val{3}, 10)) {
+		t.Fatalf("state %v, want ⟨3⟩", d)
+	}
+}
+
+func TestBoundaryEmpty(t *testing.T) {
+	d := New(3)
+	if v, r := d.PopLeft(); r != Empty || v != 0 {
+		t.Fatalf("popLeft on empty = (%d, %v)", v, r)
+	}
+	if v, r := d.PopRight(); r != Empty || v != 0 {
+		t.Fatalf("popRight on empty = (%d, %v)", v, r)
+	}
+	if !d.IsEmpty() || d.Len() != 0 {
+		t.Fatal("empty deque misreports state")
+	}
+}
+
+func TestBoundaryFull(t *testing.T) {
+	d := New(2)
+	d.PushRight(1)
+	d.PushRight(2)
+	if !d.IsFull() {
+		t.Fatal("deque with capacity items not full")
+	}
+	if r := d.PushRight(9); r != Full {
+		t.Fatalf("pushRight on full = %v", r)
+	}
+	if r := d.PushLeft(9); r != Full {
+		t.Fatalf("pushLeft on full = %v", r)
+	}
+	if !d.Equal(FromSlice([]Val{1, 2}, 2)) {
+		t.Fatalf("full push modified deque: %v", d)
+	}
+}
+
+func TestUnboundedNeverFull(t *testing.T) {
+	d := NewUnbounded()
+	for i := 0; i < 1000; i++ {
+		if r := d.PushLeft(Val(i + 1)); r != Okay {
+			t.Fatalf("pushLeft #%d = %v on unbounded deque", i, r)
+		}
+	}
+	if d.IsFull() {
+		t.Fatal("unbounded deque claims full")
+	}
+	if d.Len() != 1000 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	// Elements come back in LIFO order from the left.
+	for i := 999; i >= 0; i-- {
+		v, r := d.PopLeft()
+		if r != Okay || v != Val(i+1) {
+			t.Fatalf("popLeft = (%d, %v), want (%d, okay)", v, r, i+1)
+		}
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	d := New(1)
+	if r := d.PushRight(5); r != Okay {
+		t.Fatalf("push into capacity-1: %v", r)
+	}
+	if r := d.PushLeft(6); r != Full {
+		t.Fatalf("second push: %v", r)
+	}
+	if v, r := d.PopLeft(); r != Okay || v != 5 {
+		t.Fatalf("pop: (%d, %v)", v, r)
+	}
+}
+
+func TestNewPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic; spec requires length_S ≥ 1")
+		}
+	}()
+	New(0)
+}
+
+func TestFromSlicePanicsOverCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice over capacity did not panic")
+		}
+	}()
+	FromSlice([]Val{1, 2, 3}, 2)
+}
+
+// TestDequeAsStackAndQueue exercises the claim that deques subsume LIFO
+// stacks and FIFO queues (Section 1: "they involve all the intricacies of
+// LIFO stacks and FIFO queues").
+func TestDequeAsStackAndQueue(t *testing.T) {
+	// Stack: push and pop the same end.
+	s := New(100)
+	for i := 1; i <= 50; i++ {
+		s.PushRight(Val(i))
+	}
+	for i := 50; i >= 1; i-- {
+		v, r := s.PopRight()
+		if r != Okay || v != Val(i) {
+			t.Fatalf("stack pop: (%d, %v), want %d", v, r, i)
+		}
+	}
+	// Queue: push right, pop left.
+	q := New(100)
+	for i := 1; i <= 50; i++ {
+		q.PushRight(Val(i))
+	}
+	for i := 1; i <= 50; i++ {
+		v, r := q.PopLeft()
+		if r != Okay || v != Val(i) {
+			t.Fatalf("queue pop: (%d, %v), want %d", v, r, i)
+		}
+	}
+}
+
+// TestRandomAgainstReference drives random operations and mirrors them on a
+// plain-slice reference, comparing states throughout.
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const cap = 5
+	d := New(cap)
+	var ref []Val
+	next := Val(1)
+	for step := 0; step < 20000; step++ {
+		switch rng.IntN(4) {
+		case 0:
+			r := d.PushLeft(next)
+			if len(ref) < cap {
+				if r != Okay {
+					t.Fatalf("step %d: pushLeft=%v, want okay", step, r)
+				}
+				ref = append([]Val{next}, ref...)
+			} else if r != Full {
+				t.Fatalf("step %d: pushLeft=%v, want full", step, r)
+			}
+			next++
+		case 1:
+			r := d.PushRight(next)
+			if len(ref) < cap {
+				if r != Okay {
+					t.Fatalf("step %d: pushRight=%v, want okay", step, r)
+				}
+				ref = append(ref, next)
+			} else if r != Full {
+				t.Fatalf("step %d: pushRight=%v, want full", step, r)
+			}
+			next++
+		case 2:
+			v, r := d.PopLeft()
+			if len(ref) > 0 {
+				if r != Okay || v != ref[0] {
+					t.Fatalf("step %d: popLeft=(%d,%v), want (%d,okay)", step, v, r, ref[0])
+				}
+				ref = ref[1:]
+			} else if r != Empty {
+				t.Fatalf("step %d: popLeft=%v, want empty", step, r)
+			}
+		case 3:
+			v, r := d.PopRight()
+			if len(ref) > 0 {
+				if r != Okay || v != ref[len(ref)-1] {
+					t.Fatalf("step %d: popRight=(%d,%v), want (%d,okay)", step, v, r, ref[len(ref)-1])
+				}
+				ref = ref[:len(ref)-1]
+			} else if r != Empty {
+				t.Fatalf("step %d: popRight=%v, want empty", step, r)
+			}
+		}
+		got := d.Items()
+		if len(got) != len(ref) {
+			t.Fatalf("step %d: len %d vs ref %d", step, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("step %d: item %d: %d vs %d", step, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMirrorSymmetry property-checks that left operations are the exact
+// mirror of right operations: running a program on one deque and its
+// mirrored program on another yields mirrored states.
+func TestMirrorSymmetry(t *testing.T) {
+	f := func(prog []uint8, capSeed uint8) bool {
+		cap := int(capSeed%7) + 1
+		a := New(cap)
+		b := New(cap)
+		next := Val(1)
+		for _, op := range prog {
+			switch op % 4 {
+			case 0:
+				ra := a.PushLeft(next)
+				rb := b.PushRight(next)
+				if ra != rb {
+					return false
+				}
+				next++
+			case 1:
+				ra := a.PushRight(next)
+				rb := b.PushLeft(next)
+				if ra != rb {
+					return false
+				}
+				next++
+			case 2:
+				va, ra := a.PopLeft()
+				vb, rb := b.PopRight()
+				if ra != rb || va != vb {
+					return false
+				}
+			case 3:
+				va, ra := a.PopRight()
+				vb, rb := b.PopLeft()
+				if ra != rb || va != vb {
+					return false
+				}
+			}
+		}
+		// a must equal reversed b.
+		ia, ib := a.Items(), b.Items()
+		if len(ia) != len(ib) {
+			return false
+		}
+		for i := range ia {
+			if ia[i] != ib[len(ib)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Keys of distinct small sequences must differ; exhaustively check all
+	// sequences of length ≤ 3 over an alphabet crossing the varint
+	// boundary (0x7F/0x80) where a naive encoding would collide.
+	alphabet := []Val{1, 2, 0x7E, 0x7F, 0x80, 0x81, 0x3FFF, 0x4000}
+	seen := make(map[string][]Val)
+	var rec func(prefix []Val, depth int)
+	rec = func(prefix []Val, depth int) {
+		d := FromSlice(prefix, Unbounded)
+		k := d.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between %v and %v", prev, prefix)
+		}
+		seen[k] = append([]Val(nil), prefix...)
+		if depth == 0 {
+			return
+		}
+		for _, v := range alphabet {
+			rec(append(prefix, v), depth-1)
+		}
+	}
+	rec(nil, 3)
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	d := FromSlice([]Val{1, 2, 3}, 10)
+	c := d.Clone()
+	d.PopLeft()
+	if !c.Equal(FromSlice([]Val{1, 2, 3}, 10)) {
+		t.Fatal("clone shares state with original")
+	}
+	if d.Equal(c) {
+		t.Fatal("original did not change")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cases := map[Result]string{Okay: "okay", Empty: "empty", Full: "full", Result(9): "Result(9)"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Result(%d).String() = %q, want %q", uint8(r), got, want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package spec
+
+import "fmt"
+
+// Term is a value of the algebraic deque model of Figure 35: a term built
+// from the constructors EmptyQ, singleton(v) and concat(q1, q2).  The
+// paper axiomatizes deques this way for the Simplify prover; we reproduce
+// the constructors and the defined functions pushL, pushR, popL, popR,
+// peekL, peekR and len, and test every axiom.
+//
+// Terms are immutable; all operations return new terms.
+type Term struct {
+	kind termKind
+	v    Val   // singleton payload
+	l, r *Term // concat children
+}
+
+type termKind uint8
+
+const (
+	kindEmpty termKind = iota
+	kindSingleton
+	kindConcat
+)
+
+// EmptyQ is the empty-deque constructor of Figure 35.
+var EmptyQ = &Term{kind: kindEmpty}
+
+// Singleton returns the term singleton(v).
+func Singleton(v Val) *Term { return &Term{kind: kindSingleton, v: v} }
+
+// Concat returns the term concat(q1, q2).  No normalization is performed:
+// distinct terms may denote the same abstract deque, exactly as in the
+// paper's axiomatization, where equality is induced by the axioms (unit
+// and associativity laws).  Use Denotes or Sequence to compare meanings.
+func Concat(q1, q2 *Term) *Term { return &Term{kind: kindConcat, l: q1, r: q2} }
+
+// IsEmptyQ reports whether the term denotes the empty deque.  By the
+// constructor-distinctness axioms, a term is empty iff it is EmptyQ or a
+// concat of two empty terms.
+func (t *Term) IsEmptyQ() bool {
+	switch t.kind {
+	case kindEmpty:
+		return true
+	case kindSingleton:
+		return false
+	default:
+		return t.l.IsEmptyQ() && t.r.IsEmptyQ()
+	}
+}
+
+// Len evaluates the len function of Figure 35:
+//
+//	len(EmptyQ) = 0;  len(singleton(v)) = 1;
+//	len(concat(q1,q2)) = len(q1) + len(q2).
+func (t *Term) Len() int {
+	switch t.kind {
+	case kindEmpty:
+		return 0
+	case kindSingleton:
+		return 1
+	default:
+		return t.l.Len() + t.r.Len()
+	}
+}
+
+// PushL applies the Figure 35 definition
+// pushL(q, v) = concat(singleton(v), q).
+func (t *Term) PushL(v Val) *Term { return Concat(Singleton(v), t) }
+
+// PushR applies the Figure 35 definition
+// pushR(q, v) = concat(q, singleton(v)).
+func (t *Term) PushR(v Val) *Term { return Concat(t, Singleton(v)) }
+
+// PeekL evaluates the peekL observer.  It is undefined on empty deques
+// (the axioms give no equation); ok is false in that case.
+func (t *Term) PeekL() (v Val, ok bool) {
+	switch t.kind {
+	case kindEmpty:
+		return 0, false
+	case kindSingleton:
+		return t.v, true
+	default:
+		// peekL(concat(q1,q2)) = peekL(q1) when q1 ≠ EmptyQ; otherwise the
+		// unit axiom concat(EmptyQ, q) = q directs us to q2.
+		if !t.l.IsEmptyQ() {
+			return t.l.PeekL()
+		}
+		return t.r.PeekL()
+	}
+}
+
+// PeekR evaluates the peekR observer; ok is false on empty deques.
+func (t *Term) PeekR() (v Val, ok bool) {
+	switch t.kind {
+	case kindEmpty:
+		return 0, false
+	case kindSingleton:
+		return t.v, true
+	default:
+		if !t.r.IsEmptyQ() {
+			return t.r.PeekR()
+		}
+		return t.l.PeekR()
+	}
+}
+
+// PopL evaluates the popL mutator:
+//
+//	popL(singleton(v)) = EmptyQ;
+//	popL(concat(q1,q2)) = concat(popL(q1), q2) when q1 ≠ EmptyQ.
+//
+// ok is false on empty deques, where popL is undefined.
+func (t *Term) PopL() (rest *Term, ok bool) {
+	switch t.kind {
+	case kindEmpty:
+		return t, false
+	case kindSingleton:
+		return EmptyQ, true
+	default:
+		if !t.l.IsEmptyQ() {
+			q, _ := t.l.PopL()
+			return Concat(q, t.r), true
+		}
+		return t.r.PopL()
+	}
+}
+
+// PopR evaluates the popR mutator; ok is false on empty deques.
+func (t *Term) PopR() (rest *Term, ok bool) {
+	switch t.kind {
+	case kindEmpty:
+		return t, false
+	case kindSingleton:
+		return EmptyQ, true
+	default:
+		if !t.r.IsEmptyQ() {
+			q, _ := t.r.PopR()
+			return Concat(t.l, q), true
+		}
+		return t.l.PopR()
+	}
+}
+
+// Sequence flattens the term to the sequence of values it denotes, left to
+// right.  Two terms denote the same abstract deque iff their sequences are
+// equal — this is the quotient induced by the unit and associativity
+// axioms of Figure 35.
+func (t *Term) Sequence() []Val {
+	var out []Val
+	var walk func(*Term)
+	walk = func(u *Term) {
+		switch u.kind {
+		case kindSingleton:
+			out = append(out, u.v)
+		case kindConcat:
+			walk(u.l)
+			walk(u.r)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Denotes reports whether the term denotes exactly the given sequence.
+func (t *Term) Denotes(items []Val) bool {
+	seq := t.Sequence()
+	if len(seq) != len(items) {
+		return false
+	}
+	for i := range seq {
+		if seq[i] != items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivTo reports whether two terms denote the same abstract deque.
+func (t *Term) EquivTo(o *Term) bool { return t.Denotes(o.Sequence()) }
+
+// FromItems builds a right-leaning term denoting items.
+func FromItems(items []Val) *Term {
+	t := EmptyQ
+	for _, v := range items {
+		t = t.PushR(v)
+	}
+	return t
+}
+
+// String renders the term structure (constructors, not the denotation).
+func (t *Term) String() string {
+	switch t.kind {
+	case kindEmpty:
+		return "EmptyQ"
+	case kindSingleton:
+		return fmt.Sprintf("singleton(%d)", t.v)
+	default:
+		return fmt.Sprintf("concat(%s, %s)", t.l, t.r)
+	}
+}

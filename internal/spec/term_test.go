@@ -1,0 +1,251 @@
+package spec
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// genTerm builds a random term with at most depth levels of concat.
+func genTerm(rng *rand.Rand, depth int) *Term {
+	switch {
+	case depth == 0 || rng.IntN(3) == 0:
+		if rng.IntN(3) == 0 {
+			return EmptyQ
+		}
+		return Singleton(Val(rng.IntN(9) + 1))
+	default:
+		return Concat(genTerm(rng, depth-1), genTerm(rng, depth-1))
+	}
+}
+
+// TestAxiomConstructorDistinctness checks the first Figure 35 axiom group:
+// singleton(v) ≠ EmptyQ, and concat(q1,q2) ≠ EmptyQ when either argument is
+// non-empty (distinctness is up to denotation in our model).
+func TestAxiomConstructorDistinctness(t *testing.T) {
+	if Singleton(1).IsEmptyQ() {
+		t.Fatal("singleton(1) denotes EmptyQ")
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 500; i++ {
+		q1 := genTerm(rng, 3)
+		q2 := genTerm(rng, 3)
+		c := Concat(q1, q2)
+		if (!q1.IsEmptyQ() || !q2.IsEmptyQ()) && c.IsEmptyQ() {
+			t.Fatalf("concat(%s, %s) denotes EmptyQ", q1, q2)
+		}
+		if q1.IsEmptyQ() && q2.IsEmptyQ() && !c.IsEmptyQ() {
+			t.Fatalf("concat of two empties is non-empty: %s", c)
+		}
+	}
+}
+
+// TestAxiomUnitLaws checks concat(q, EmptyQ) = q and concat(EmptyQ, q) = q
+// (equality of denotation).
+func TestAxiomUnitLaws(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 500; i++ {
+		q := genTerm(rng, 4)
+		if !Concat(q, EmptyQ).EquivTo(q) {
+			t.Fatalf("concat(%s, EmptyQ) ≠ %s", q, q)
+		}
+		if !Concat(EmptyQ, q).EquivTo(q) {
+			t.Fatalf("concat(EmptyQ, %s) ≠ %s", q, q)
+		}
+	}
+}
+
+// TestAxiomAssociativity checks
+// concat(q1, concat(q2, q3)) = concat(concat(q1, q2), q3).
+func TestAxiomAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 500; i++ {
+		q1, q2, q3 := genTerm(rng, 3), genTerm(rng, 3), genTerm(rng, 3)
+		a := Concat(q1, Concat(q2, q3))
+		b := Concat(Concat(q1, q2), q3)
+		if !a.EquivTo(b) {
+			t.Fatalf("associativity fails: %s vs %s", a, b)
+		}
+	}
+}
+
+// TestAxiomPushDefs checks pushL(q,v) = concat(singleton(v), q) and
+// pushR(q,v) = concat(q, singleton(v)).
+func TestAxiomPushDefs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for i := 0; i < 500; i++ {
+		q := genTerm(rng, 3)
+		v := Val(rng.IntN(9) + 1)
+		if !q.PushL(v).EquivTo(Concat(Singleton(v), q)) {
+			t.Fatal("pushL definition violated")
+		}
+		if !q.PushR(v).EquivTo(Concat(q, Singleton(v))) {
+			t.Fatal("pushR definition violated")
+		}
+	}
+}
+
+// TestAxiomPeek checks the peek observer axioms:
+// peekR(singleton(v)) = v; peekR(concat(q1,q2)) = peekR(q2) when q2 ≠ EmptyQ;
+// and symmetrically for peekL.
+func TestAxiomPeek(t *testing.T) {
+	if v, ok := Singleton(7).PeekR(); !ok || v != 7 {
+		t.Fatalf("peekR(singleton(7)) = (%d,%v)", v, ok)
+	}
+	if v, ok := Singleton(7).PeekL(); !ok || v != 7 {
+		t.Fatalf("peekL(singleton(7)) = (%d,%v)", v, ok)
+	}
+	if _, ok := EmptyQ.PeekL(); ok {
+		t.Fatal("peekL defined on EmptyQ")
+	}
+	if _, ok := EmptyQ.PeekR(); ok {
+		t.Fatal("peekR defined on EmptyQ")
+	}
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 500; i++ {
+		q1, q2 := genTerm(rng, 3), genTerm(rng, 3)
+		c := Concat(q1, q2)
+		if !q2.IsEmptyQ() {
+			want, _ := q2.PeekR()
+			if got, ok := c.PeekR(); !ok || got != want {
+				t.Fatalf("peekR(concat) = (%d,%v), want %d", got, ok, want)
+			}
+		}
+		if !q1.IsEmptyQ() {
+			want, _ := q1.PeekL()
+			if got, ok := c.PeekL(); !ok || got != want {
+				t.Fatalf("peekL(concat) = (%d,%v), want %d", got, ok, want)
+			}
+		}
+	}
+}
+
+// TestAxiomPop checks the pop mutator axioms:
+// popR(singleton(v)) = EmptyQ;
+// popR(concat(q1,q2)) = concat(q1, popR(q2)) when q2 ≠ EmptyQ;
+// and symmetrically for popL.
+func TestAxiomPop(t *testing.T) {
+	if q, ok := Singleton(3).PopR(); !ok || !q.IsEmptyQ() {
+		t.Fatal("popR(singleton) ≠ EmptyQ")
+	}
+	if q, ok := Singleton(3).PopL(); !ok || !q.IsEmptyQ() {
+		t.Fatal("popL(singleton) ≠ EmptyQ")
+	}
+	if _, ok := EmptyQ.PopL(); ok {
+		t.Fatal("popL defined on EmptyQ")
+	}
+	if _, ok := EmptyQ.PopR(); ok {
+		t.Fatal("popR defined on EmptyQ")
+	}
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 500; i++ {
+		q1, q2 := genTerm(rng, 3), genTerm(rng, 3)
+		c := Concat(q1, q2)
+		if !q2.IsEmptyQ() {
+			wantQ2, _ := q2.PopR()
+			want := Concat(q1, wantQ2)
+			got, ok := c.PopR()
+			if !ok || !got.EquivTo(want) {
+				t.Fatalf("popR(concat(%s,%s)) = %s, want %s", q1, q2, got, want)
+			}
+		}
+		if !q1.IsEmptyQ() {
+			wantQ1, _ := q1.PopL()
+			want := Concat(wantQ1, q2)
+			got, ok := c.PopL()
+			if !ok || !got.EquivTo(want) {
+				t.Fatalf("popL(concat(%s,%s)) = %s, want %s", q1, q2, got, want)
+			}
+		}
+	}
+}
+
+// TestAxiomLen checks len(EmptyQ)=0, len(singleton)=1 and
+// len(concat(q1,q2)) = len(q1)+len(q2).
+func TestAxiomLen(t *testing.T) {
+	if EmptyQ.Len() != 0 {
+		t.Fatal("len(EmptyQ) ≠ 0")
+	}
+	if Singleton(1).Len() != 1 {
+		t.Fatal("len(singleton) ≠ 1")
+	}
+	rng := rand.New(rand.NewPCG(15, 16))
+	for i := 0; i < 500; i++ {
+		q1, q2 := genTerm(rng, 3), genTerm(rng, 3)
+		if Concat(q1, q2).Len() != q1.Len()+q2.Len() {
+			t.Fatal("len(concat) ≠ len(q1)+len(q2)")
+		}
+	}
+}
+
+// TestTermMatchesStateMachine property-checks that the algebraic model of
+// Figure 35 and the operational model of Section 2.2 agree: a random
+// program of operations produces identical results and identical final
+// sequences in both models (unbounded case, where the two specifications
+// coincide exactly).
+func TestTermMatchesStateMachine(t *testing.T) {
+	f := func(prog []uint8) bool {
+		d := NewUnbounded()
+		term := EmptyQ
+		next := Val(1)
+		for _, op := range prog {
+			switch op % 4 {
+			case 0:
+				d.PushLeft(next)
+				term = term.PushL(next)
+				next++
+			case 1:
+				d.PushRight(next)
+				term = term.PushR(next)
+				next++
+			case 2:
+				v, r := d.PopLeft()
+				pv, pok := term.PeekL()
+				nt, tok := term.PopL()
+				if (r == Okay) != tok {
+					return false
+				}
+				if r == Okay && (pv != v || !pok) {
+					return false
+				}
+				if tok {
+					term = nt
+				}
+			case 3:
+				v, r := d.PopRight()
+				pv, pok := term.PeekR()
+				nt, tok := term.PopR()
+				if (r == Okay) != tok {
+					return false
+				}
+				if r == Okay && (pv != v || !pok) {
+					return false
+				}
+				if tok {
+					term = nt
+				}
+			}
+		}
+		return term.Denotes(d.Items())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromItemsAndString(t *testing.T) {
+	items := []Val{4, 5, 6}
+	q := FromItems(items)
+	if !q.Denotes(items) {
+		t.Fatalf("FromItems(%v) denotes %v", items, q.Sequence())
+	}
+	if got := Singleton(2).String(); got != "singleton(2)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := EmptyQ.String(); got != "EmptyQ" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Concat(EmptyQ, Singleton(1)).String(); got != "concat(EmptyQ, singleton(1))" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+// Package tagptr packs a node reference, a reuse tag and the algorithm's
+// "deleted" bit into a single 64-bit word.
+//
+// The linked-list deque of Section 4 stores, in one DCAS-able memory word,
+// a pointer together with a deleted bit: "The following structure is thus
+// maintained in a single word, by assuming sufficient pointer alignment to
+// free one low-order bit."  Go pointers cannot carry flag bits in a
+// GC-safe way, so nodes live in an index-addressed arena and a pointer
+// word is laid out as:
+//
+//	bit  0      deleted bit
+//	bits 1..31  node index + 1 (0 encodes the nil pointer)
+//	bits 32..63 reuse tag (the node's arena generation)
+//
+// The tag field makes recycled nodes distinguishable from their previous
+// incarnations, which is what the paper gets for free from garbage
+// collection; in gc mode (arena reuse disabled) tags never change and the
+// word is exactly the paper's (pointer, deleted) pair.
+package tagptr
+
+// Word is a packed (index, tag, deleted) pointer word.
+type Word = uint64
+
+// Nil is the null pointer word: no index, no tag, deleted bit clear.
+const Nil Word = 0
+
+// MaxIndex is the largest packable node index.
+const MaxIndex = 1<<31 - 2
+
+// Pack builds a pointer word.  idx must be ≤ MaxIndex.
+func Pack(idx uint32, tag uint32, deleted bool) Word {
+	if idx > MaxIndex {
+		panic("tagptr: index out of range")
+	}
+	w := uint64(tag)<<32 | uint64(idx+1)<<1
+	if deleted {
+		w |= 1
+	}
+	return w
+}
+
+// Idx extracts the node index; ok is false for the nil pointer.
+func Idx(w Word) (idx uint32, ok bool) {
+	f := uint32(w) >> 1
+	if f == 0 {
+		return 0, false
+	}
+	return f - 1, true
+}
+
+// MustIdx extracts the node index and panics on the nil pointer; the deque
+// algorithms never follow nil (sentinels terminate every chain).
+func MustIdx(w Word) uint32 {
+	idx, ok := Idx(w)
+	if !ok {
+		panic("tagptr: nil pointer dereference")
+	}
+	return idx
+}
+
+// Tag extracts the reuse tag.
+func Tag(w Word) uint32 { return uint32(w >> 32) }
+
+// Deleted reports the deleted bit — true when the sentinel pointer holding
+// this word references a logically deleted node.
+func Deleted(w Word) bool { return w&1 != 0 }
+
+// WithDeleted returns the word with the deleted bit set as given, leaving
+// index and tag untouched (the pop operation's "marking" step).
+func WithDeleted(w Word, deleted bool) Word {
+	if deleted {
+		return w | 1
+	}
+	return w &^ 1
+}
+
+// Ptr returns the word with the deleted bit cleared: the pure
+// (index, tag) reference.  Two words reference the same node incarnation
+// iff their Ptr values are equal — the paper's "oldL.ptr == oldLLR.ptr"
+// comparison.
+func Ptr(w Word) Word { return w &^ 1 }

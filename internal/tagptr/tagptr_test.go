@@ -1,0 +1,96 @@
+package tagptr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilWord(t *testing.T) {
+	if _, ok := Idx(Nil); ok {
+		t.Fatal("Nil decodes to an index")
+	}
+	if Deleted(Nil) {
+		t.Fatal("Nil has deleted bit set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIdx(Nil) did not panic")
+		}
+	}()
+	MustIdx(Nil)
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	f := func(idx uint32, tag uint32, deleted bool) bool {
+		idx %= MaxIndex + 1
+		w := Pack(idx, tag, deleted)
+		gotIdx, ok := Idx(w)
+		if !ok || gotIdx != idx {
+			return false
+		}
+		if Tag(w) != tag || Deleted(w) != deleted {
+			return false
+		}
+		if MustIdx(w) != idx {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackNeverNil(t *testing.T) {
+	// Any packed word must be distinguishable from Nil, even idx 0, tag 0.
+	w := Pack(0, 0, false)
+	if w == Nil {
+		t.Fatal("Pack(0,0,false) == Nil")
+	}
+	if _, ok := Idx(w); !ok {
+		t.Fatal("packed word decodes as nil")
+	}
+}
+
+func TestDeletedBitManipulation(t *testing.T) {
+	f := func(idx uint32, tag uint32, deleted bool) bool {
+		idx %= MaxIndex + 1
+		w := Pack(idx, tag, deleted)
+		marked := WithDeleted(w, true)
+		cleared := WithDeleted(w, false)
+		if !Deleted(marked) || Deleted(cleared) {
+			return false
+		}
+		// Index and tag survive bit flips.
+		if MustIdx(marked) != idx || MustIdx(cleared) != idx {
+			return false
+		}
+		if Tag(marked) != tag || Tag(cleared) != tag {
+			return false
+		}
+		// Ptr equality ignores the deleted bit only.
+		return Ptr(marked) == Ptr(cleared) && Ptr(marked) == Pack(idx, tag, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctIncarnationsDiffer(t *testing.T) {
+	// Same index, different tag — the ABA protection — must compare
+	// unequal under Ptr.
+	a := Pack(5, 1, false)
+	b := Pack(5, 2, false)
+	if Ptr(a) == Ptr(b) {
+		t.Fatal("different incarnations compare equal")
+	}
+}
+
+func TestPackPanicsOnHugeIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pack(MaxIndex+1) did not panic")
+		}
+	}()
+	Pack(MaxIndex+1, 0, false)
+}

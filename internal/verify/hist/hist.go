@@ -1,0 +1,113 @@
+// Package hist records concurrent operation histories in the sense of
+// Section 2 of "DCAS-Based Concurrent Deques": "A history is a sequence of
+// invocations and responses of some system execution.  Each history
+// induces a 'real-time' order of operations where an operation A precedes
+// another operation B if A's response occurs before B's invocation."
+//
+// Timestamps are drawn from a shared atomic counter, which yields a total
+// order consistent with real time: if A's response action happens before
+// B's invocation action, A's response ticket is smaller than B's
+// invocation ticket.  Each worker records into its own preallocated slice,
+// so recording adds only one atomic increment per event to the measured
+// operations.
+package hist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dcasdeque/internal/spec"
+)
+
+// Kind identifies a deque operation in a history.
+type Kind uint8
+
+// The four deque operations.
+const (
+	PushLeft Kind = iota
+	PushRight
+	PopLeft
+	PopRight
+)
+
+// String returns the operation's name.
+func (k Kind) String() string {
+	switch k {
+	case PushLeft:
+		return "pushLeft"
+	case PushRight:
+		return "pushRight"
+	case PopLeft:
+		return "popLeft"
+	case PopRight:
+		return "popRight"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed operation with its real-time interval.
+type Op struct {
+	Thread   int
+	Kind     Kind
+	Arg      uint64 // pushed value
+	Val      uint64 // popped value (when Res == Okay)
+	Res      spec.Result
+	Invoke   uint64 // ticket taken immediately before the operation
+	Response uint64 // ticket taken immediately after the operation
+}
+
+// String renders the op compactly for failure reports.
+func (o Op) String() string {
+	switch {
+	case o.Kind == PushLeft || o.Kind == PushRight:
+		return fmt.Sprintf("T%d %v(%d)=%v @[%d,%d]", o.Thread, o.Kind, o.Arg, o.Res, o.Invoke, o.Response)
+	case o.Res == spec.Okay:
+		return fmt.Sprintf("T%d %v()=%d @[%d,%d]", o.Thread, o.Kind, o.Val, o.Invoke, o.Response)
+	default:
+		return fmt.Sprintf("T%d %v()=%v @[%d,%d]", o.Thread, o.Kind, o.Res, o.Invoke, o.Response)
+	}
+}
+
+// Recorder collects per-thread histories.  Create with NewRecorder; each
+// worker goroutine owns exactly one thread slot.
+type Recorder struct {
+	clock   atomic.Uint64
+	threads [][]Op
+}
+
+// NewRecorder returns a recorder for n worker threads.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{threads: make([][]Op, n)}
+}
+
+// Begin takes an invocation ticket.  Call immediately before the
+// operation.
+func (r *Recorder) Begin() uint64 { return r.clock.Add(1) }
+
+// End records a completed operation for thread t.  Call immediately after
+// the operation returns; the response ticket is taken here.  Only thread
+// t's goroutine may call End(t, ...).
+func (r *Recorder) End(t int, k Kind, arg, val uint64, res spec.Result, invoke uint64) {
+	r.threads[t] = append(r.threads[t], Op{
+		Thread: t, Kind: k, Arg: arg, Val: val, Res: res,
+		Invoke: invoke, Response: r.clock.Add(1),
+	})
+}
+
+// Ops merges all threads' operations into one slice (arbitrary order).
+// Call only after all workers have stopped.
+func (r *Recorder) Ops() []Op {
+	var out []Op
+	for _, t := range r.threads {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// Reset clears all recorded operations, keeping the thread count.
+func (r *Recorder) Reset() {
+	for i := range r.threads {
+		r.threads[i] = r.threads[i][:0]
+	}
+}

@@ -1,0 +1,113 @@
+package hist
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dcasdeque/internal/spec"
+)
+
+func TestTicketsAreMonotonic(t *testing.T) {
+	r := NewRecorder(1)
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		inv := r.Begin()
+		if inv <= prev {
+			t.Fatalf("ticket %d not after %d", inv, prev)
+		}
+		r.End(0, PushRight, uint64(i+1), 0, spec.Okay, inv)
+		ops := r.Ops()
+		resp := ops[len(ops)-1].Response
+		if resp <= inv {
+			t.Fatalf("response %d not after invoke %d", resp, inv)
+		}
+		prev = resp
+	}
+}
+
+func TestRealTimeOrderAcrossThreads(t *testing.T) {
+	// If thread A's op completes before thread B's begins, the tickets
+	// must order them.
+	r := NewRecorder(2)
+	invA := r.Begin()
+	r.End(0, PushLeft, 1, 0, spec.Okay, invA)
+	invB := r.Begin()
+	r.End(1, PopLeft, 0, 1, spec.Okay, invB)
+	ops := r.Ops()
+	var a, b Op
+	for _, op := range ops {
+		if op.Thread == 0 {
+			a = op
+		} else {
+			b = op
+		}
+	}
+	if a.Response >= b.Invoke {
+		t.Fatalf("real-time order lost: a.Response=%d b.Invoke=%d", a.Response, b.Invoke)
+	}
+}
+
+func TestConcurrentRecordingIsDisjoint(t *testing.T) {
+	const threads = 4
+	const per = 1000
+	r := NewRecorder(threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				inv := r.Begin()
+				r.End(th, PushRight, uint64(th*per+i+1), 0, spec.Okay, inv)
+			}
+		}(th)
+	}
+	wg.Wait()
+	ops := r.Ops()
+	if len(ops) != threads*per {
+		t.Fatalf("recorded %d ops, want %d", len(ops), threads*per)
+	}
+	// All intervals well-formed and all tickets distinct.
+	seen := make(map[uint64]bool, 2*len(ops))
+	for _, op := range ops {
+		if op.Invoke >= op.Response {
+			t.Fatalf("interval inverted: %v", op)
+		}
+		if seen[op.Invoke] || seen[op.Response] {
+			t.Fatalf("duplicate ticket in %v", op)
+		}
+		seen[op.Invoke] = true
+		seen[op.Response] = true
+	}
+	r.Reset()
+	if len(r.Ops()) != 0 {
+		t.Fatal("Reset left operations behind")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	push := Op{Thread: 1, Kind: PushRight, Arg: 5, Res: spec.Okay, Invoke: 1, Response: 2}
+	if s := push.String(); !strings.Contains(s, "pushRight(5)") {
+		t.Fatalf("push string: %s", s)
+	}
+	pop := Op{Thread: 2, Kind: PopLeft, Val: 9, Res: spec.Okay, Invoke: 3, Response: 4}
+	if s := pop.String(); !strings.Contains(s, "popLeft()=9") {
+		t.Fatalf("pop string: %s", s)
+	}
+	empty := Op{Thread: 0, Kind: PopRight, Res: spec.Empty, Invoke: 5, Response: 6}
+	if s := empty.String(); !strings.Contains(s, "empty") {
+		t.Fatalf("empty string: %s", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		PushLeft: "pushLeft", PushRight: "pushRight",
+		PopLeft: "popLeft", PopRight: "popRight", Kind(7): "Kind(7)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package linearize
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/hist"
+)
+
+// bruteCheck decides linearizability by trying every permutation of the
+// operations (respecting the real-time order), the obviously-correct
+// reference the optimized checker is validated against.
+func bruteCheck(ops []hist.Op, capacity int, initial []uint64) bool {
+	n := len(ops)
+	used := make([]bool, n)
+	var rec func(done int, d *spec.Deque) bool
+	rec = func(done int, d *spec.Deque) bool {
+		if done == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time order: i may go next only if no unused op's
+			// response precedes i's invocation.
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && ops[j].Response < ops[i].Invoke {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			next := d.Clone()
+			match := false
+			switch ops[i].Kind {
+			case hist.PushLeft:
+				match = next.PushLeft(ops[i].Arg) == ops[i].Res
+			case hist.PushRight:
+				match = next.PushRight(ops[i].Arg) == ops[i].Res
+			case hist.PopLeft:
+				v, r := next.PopLeft()
+				match = r == ops[i].Res && (r != spec.Okay || v == ops[i].Val)
+			case hist.PopRight:
+				v, r := next.PopRight()
+				match = r == ops[i].Res && (r != spec.Okay || v == ops[i].Val)
+			}
+			if !match {
+				continue
+			}
+			used[i] = true
+			if rec(done+1, next) {
+				used[i] = false
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0, spec.FromSlice(initial, capacity))
+}
+
+// genHistory fabricates a random plausible-looking history: random op
+// kinds with results drawn either from an actual sequential execution of
+// some interleaving (usually linearizable) or fully at random (usually
+// not).  Intervals overlap randomly.
+func genHistory(rng *rand.Rand, nOps, capacity int, coherent bool) []hist.Op {
+	ops := make([]hist.Op, nOps)
+	// Random intervals over 2*nOps tickets.
+	for i := range ops {
+		a := uint64(rng.IntN(2*nOps)) + 1
+		b := uint64(rng.IntN(2*nOps)) + 1
+		if a > b {
+			a, b = b, a
+		}
+		ops[i].Invoke, ops[i].Response = a, b+1
+		ops[i].Thread = i
+	}
+	if coherent {
+		// Execute ops sequentially in a random order to produce results
+		// that are at least sequentially consistent with that order.
+		d := spec.New(capacity)
+		perm := rng.Perm(nOps)
+		next := uint64(1)
+		for _, i := range perm {
+			switch rng.IntN(4) {
+			case 0:
+				ops[i].Kind = hist.PushLeft
+				ops[i].Arg = next
+				next++
+				ops[i].Res = d.PushLeft(ops[i].Arg)
+			case 1:
+				ops[i].Kind = hist.PushRight
+				ops[i].Arg = next
+				next++
+				ops[i].Res = d.PushRight(ops[i].Arg)
+			case 2:
+				ops[i].Kind = hist.PopLeft
+				ops[i].Val, ops[i].Res = d.PopLeft()
+			case 3:
+				ops[i].Kind = hist.PopRight
+				ops[i].Val, ops[i].Res = d.PopRight()
+			}
+		}
+	} else {
+		next := uint64(1)
+		for i := range ops {
+			switch rng.IntN(4) {
+			case 0:
+				ops[i].Kind = hist.PushLeft
+				ops[i].Arg = next
+				next++
+				ops[i].Res = spec.Okay
+			case 1:
+				ops[i].Kind = hist.PushRight
+				ops[i].Arg = next
+				next++
+				ops[i].Res = spec.Okay
+			case 2:
+				ops[i].Kind = hist.PopLeft
+				ops[i].Val = uint64(rng.IntN(nOps) + 1)
+				ops[i].Res = spec.Okay
+			case 3:
+				ops[i].Kind = hist.PopRight
+				ops[i].Res = spec.Empty
+			}
+		}
+	}
+	return ops
+}
+
+// TestCheckerMatchesBruteForce cross-validates the memoized Wing–Gong
+// checker against exhaustive permutation search on thousands of small
+// random histories, both mostly-valid and mostly-invalid.
+func TestCheckerMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	agree, valid := 0, 0
+	for round := 0; round < 3000; round++ {
+		nOps := rng.IntN(6) + 1
+		capacity := rng.IntN(3) + 1
+		coherent := round%2 == 0
+		ops := genHistory(rng, nOps, capacity, coherent)
+		want := bruteCheck(ops, capacity, nil)
+		got, err := Check(ops, capacity, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Ok != want {
+			t.Fatalf("round %d: checker=%v brute=%v for:\n%s", round, got.Ok, want, Explain(ops))
+		}
+		agree++
+		if want {
+			valid++
+		}
+	}
+	if valid == 0 || valid == agree {
+		t.Fatalf("degenerate test corpus: %d/%d valid", valid, agree)
+	}
+	t.Logf("%d histories cross-checked (%d linearizable)", agree, valid)
+}

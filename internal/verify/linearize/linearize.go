@@ -1,0 +1,149 @@
+// Package linearize decides whether a recorded concurrent history of deque
+// operations is linearizable with respect to the sequential specification
+// of Section 2.2 — the correctness condition of Herlihy and Wing that both
+// of the paper's theorems (3.1 and 4.1) assert.
+//
+// The checker is the classical Wing–Gong tree search with Lowe-style
+// memoization: it tries to linearize, one at a time, some operation that
+// is minimal in the real-time order (no other pending-or-unlinearized
+// operation's response precedes its invocation), applying it to a
+// sequential deque and matching its recorded result.  A (linearized-set,
+// deque-state) pair that has already failed is never explored twice.
+//
+// Complexity is exponential in the worst case; callers keep histories
+// small (tens of operations) and run many windows, which is the standard
+// practice for linearizability testing.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/hist"
+)
+
+// Result reports the outcome of a check.
+type Result struct {
+	Ok bool
+	// Witness is a valid linearization order (indices into the input ops)
+	// when Ok; empty otherwise.
+	Witness []int
+	// StatesExplored counts search nodes, for diagnostics.
+	StatesExplored int
+}
+
+// Check reports whether the given operations form a linearizable history
+// of a deque with the given capacity (spec.Unbounded for the list deque)
+// and initial contents.
+//
+// Histories of more than 64 operations are rejected (the memoization set
+// is a bitmask); split longer runs into windows.
+func Check(ops []hist.Op, capacity int, initial []uint64) (Result, error) {
+	if len(ops) > 64 {
+		return Result{}, fmt.Errorf("linearize: history of %d ops exceeds the 64-op limit", len(ops))
+	}
+	// Sort by invocation so "minimal in real-time order" is easy to
+	// compute; ties are fine in any order.
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ops[idx[a]].Invoke < ops[idx[b]].Invoke })
+
+	n := len(ops)
+	full := uint64(0)
+	if n == 64 {
+		full = ^uint64(0)
+	} else {
+		full = (uint64(1) << n) - 1
+	}
+
+	type memoKey struct {
+		done uint64
+		st   string
+	}
+	failed := map[memoKey]bool{}
+	states := 0
+
+	var witness []int
+	var rec func(done uint64, d *spec.Deque) bool
+	rec = func(done uint64, d *spec.Deque) bool {
+		states++
+		if done == full {
+			return true
+		}
+		key := memoKey{done: done, st: d.Key()}
+		if failed[key] {
+			return false
+		}
+		// minResponse over unlinearized ops: an op is a candidate iff its
+		// invocation precedes every unlinearized op's response.
+		minResp := ^uint64(0)
+		for _, i := range idx {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			if ops[i].Response < minResp {
+				minResp = ops[i].Response
+			}
+		}
+		for _, i := range idx {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			op := ops[i]
+			if op.Invoke > minResp {
+				// Some unlinearized op completed before this one began; it
+				// cannot be next.  Later ops in invoke order can only be
+				// worse, but responses are not sorted, so keep scanning.
+				continue
+			}
+			next := d.Clone()
+			okHere := false
+			switch op.Kind {
+			case hist.PushLeft:
+				okHere = next.PushLeft(op.Arg) == op.Res
+			case hist.PushRight:
+				okHere = next.PushRight(op.Arg) == op.Res
+			case hist.PopLeft:
+				v, r := next.PopLeft()
+				okHere = r == op.Res && (r != spec.Okay || v == op.Val)
+			case hist.PopRight:
+				v, r := next.PopRight()
+				okHere = r == op.Res && (r != spec.Okay || v == op.Val)
+			}
+			if !okHere {
+				continue
+			}
+			witness = append(witness, i)
+			if rec(done|1<<uint(i), next) {
+				return true
+			}
+			witness = witness[:len(witness)-1]
+		}
+		failed[key] = true
+		return false
+	}
+
+	d := spec.FromSlice(initial, capacity)
+	ok := rec(0, d)
+	res := Result{Ok: ok, StatesExplored: states}
+	if ok {
+		res.Witness = append([]int(nil), witness...)
+	}
+	return res, nil
+}
+
+// Explain renders a failed history for debugging: all operations sorted by
+// invocation ticket.
+func Explain(ops []hist.Op) string {
+	sorted := append([]hist.Op(nil), ops...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Invoke < sorted[b].Invoke })
+	var b strings.Builder
+	for _, op := range sorted {
+		fmt.Fprintf(&b, "  %v\n", op)
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package linearize
+
+import (
+	"testing"
+
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/hist"
+)
+
+// op builds a history entry tersely.
+func op(t int, k hist.Kind, arg, val uint64, res spec.Result, inv, resp uint64) hist.Op {
+	return hist.Op{Thread: t, Kind: k, Arg: arg, Val: val, Res: res, Invoke: inv, Response: resp}
+}
+
+func mustCheck(t *testing.T, ops []hist.Op, capacity int, initial []uint64) Result {
+	t.Helper()
+	res, err := Check(ops, capacity, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSequentialHistoryOK(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PushRight, 1, 0, spec.Okay, 1, 2),
+		op(0, hist.PushLeft, 2, 0, spec.Okay, 3, 4),
+		op(0, hist.PopRight, 0, 1, spec.Okay, 5, 6),
+		op(0, hist.PopRight, 0, 2, spec.Okay, 7, 8),
+		op(0, hist.PopLeft, 0, 0, spec.Empty, 9, 10),
+	}
+	res := mustCheck(t, ops, 10, nil)
+	if !res.Ok {
+		t.Fatal("valid sequential history rejected")
+	}
+	if len(res.Witness) != len(ops) {
+		t.Fatalf("witness has %d ops, want %d", len(res.Witness), len(ops))
+	}
+}
+
+func TestEmptyHistoryOK(t *testing.T) {
+	res := mustCheck(t, nil, 4, nil)
+	if !res.Ok {
+		t.Fatal("empty history rejected")
+	}
+}
+
+// TestConcurrentStealOK encodes the Figure 6 outcome: overlapping popLeft
+// and popRight on a single-item deque; one gets the item, one gets empty.
+func TestConcurrentStealOK(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PopLeft, 0, 7, spec.Okay, 1, 4),
+		op(1, hist.PopRight, 0, 0, spec.Empty, 2, 3),
+	}
+	res := mustCheck(t, ops, 4, []uint64{7})
+	if !res.Ok {
+		t.Fatal("valid steal history rejected")
+	}
+}
+
+// TestRealTimeOrderViolation: a pop that returns empty strictly after a
+// successful push completed (no overlap) is not linearizable.
+func TestRealTimeOrderViolation(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PushRight, 5, 0, spec.Okay, 1, 2),
+		op(1, hist.PopRight, 0, 0, spec.Empty, 3, 4),
+	}
+	res := mustCheck(t, ops, 4, nil)
+	if res.Ok {
+		t.Fatal("accepted pop=empty after completed push")
+	}
+}
+
+// TestOverlapAllowsEmpty: the same pop is fine if it overlaps the push.
+func TestOverlapAllowsEmpty(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PushRight, 5, 0, spec.Okay, 1, 4),
+		op(1, hist.PopRight, 0, 0, spec.Empty, 2, 3),
+	}
+	res := mustCheck(t, ops, 4, nil)
+	if !res.Ok {
+		t.Fatal("rejected pop=empty overlapping a push")
+	}
+}
+
+// TestDuplicatePopRejected: two pops both claiming the same pushed value.
+func TestDuplicatePopRejected(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PushRight, 5, 0, spec.Okay, 1, 2),
+		op(1, hist.PopRight, 0, 5, spec.Okay, 3, 6),
+		op(2, hist.PopLeft, 0, 5, spec.Okay, 4, 5),
+	}
+	res := mustCheck(t, ops, 4, nil)
+	if res.Ok {
+		t.Fatal("accepted double pop of one value")
+	}
+}
+
+// TestPopFromWrongEndRejected: with ⟨1,2⟩ pushed left-to-right by one
+// thread, a later popLeft cannot return 2.
+func TestPopFromWrongEndRejected(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PushRight, 1, 0, spec.Okay, 1, 2),
+		op(0, hist.PushRight, 2, 0, spec.Okay, 3, 4),
+		op(1, hist.PopLeft, 0, 2, spec.Okay, 5, 6),
+	}
+	res := mustCheck(t, ops, 4, nil)
+	if res.Ok {
+		t.Fatal("accepted popLeft returning the rightmost value")
+	}
+}
+
+// TestFullSemantics: push=full is linearizable only if the deque could
+// have been full at some point during the push.
+func TestFullSemantics(t *testing.T) {
+	// Capacity 1, initially holding one item: concurrent pop and push-full
+	// is fine only if push linearizes before the pop.
+	ops := []hist.Op{
+		op(0, hist.PopRight, 0, 9, spec.Okay, 1, 4),
+		op(1, hist.PushRight, 5, 0, spec.Full, 2, 3),
+	}
+	res := mustCheck(t, ops, 1, []uint64{9})
+	if !res.Ok {
+		t.Fatal("rejected push=full overlapping the draining pop")
+	}
+	// But push=full strictly after the pop completed is wrong.
+	ops = []hist.Op{
+		op(0, hist.PopRight, 0, 9, spec.Okay, 1, 2),
+		op(1, hist.PushRight, 5, 0, spec.Full, 3, 4),
+	}
+	res = mustCheck(t, ops, 1, []uint64{9})
+	if res.Ok {
+		t.Fatal("accepted push=full on an emptied capacity-1 deque")
+	}
+}
+
+// TestInitialContents: the initial deque state participates in checking.
+func TestInitialContents(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PopLeft, 0, 3, spec.Okay, 1, 2),
+		op(0, hist.PopLeft, 0, 4, spec.Okay, 3, 4),
+	}
+	if res := mustCheck(t, ops, 4, []uint64{3, 4}); !res.Ok {
+		t.Fatal("rejected pops of initial contents")
+	}
+	if res := mustCheck(t, ops, 4, []uint64{4, 3}); res.Ok {
+		t.Fatal("accepted pops in wrong order for initial contents")
+	}
+}
+
+// TestWitnessIsValid replays the returned witness against the spec.
+func TestWitnessIsValid(t *testing.T) {
+	ops := []hist.Op{
+		op(0, hist.PushRight, 1, 0, spec.Okay, 1, 10),
+		op(1, hist.PushLeft, 2, 0, spec.Okay, 2, 9),
+		op(2, hist.PopRight, 0, 1, spec.Okay, 3, 8),
+		op(3, hist.PopRight, 0, 2, spec.Okay, 11, 12),
+	}
+	res := mustCheck(t, ops, 8, nil)
+	if !res.Ok {
+		t.Fatalf("valid history rejected:\n%s", Explain(ops))
+	}
+	d := spec.New(8)
+	for _, i := range res.Witness {
+		o := ops[i]
+		switch o.Kind {
+		case hist.PushLeft:
+			if d.PushLeft(o.Arg) != o.Res {
+				t.Fatal("witness replay mismatch")
+			}
+		case hist.PushRight:
+			if d.PushRight(o.Arg) != o.Res {
+				t.Fatal("witness replay mismatch")
+			}
+		case hist.PopLeft:
+			v, r := d.PopLeft()
+			if r != o.Res || (r == spec.Okay && v != o.Val) {
+				t.Fatal("witness replay mismatch")
+			}
+		case hist.PopRight:
+			v, r := d.PopRight()
+			if r != o.Res || (r == spec.Okay && v != o.Val) {
+				t.Fatal("witness replay mismatch")
+			}
+		}
+	}
+}
+
+func TestTooLongHistoryRejected(t *testing.T) {
+	ops := make([]hist.Op, 65)
+	for i := range ops {
+		ops[i] = op(0, hist.PushRight, uint64(i+1), 0, spec.Okay, uint64(2*i+1), uint64(2*i+2))
+	}
+	if _, err := Check(ops, spec.Unbounded, nil); err == nil {
+		t.Fatal("accepted 65-op history")
+	}
+}

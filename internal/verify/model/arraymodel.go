@@ -1,0 +1,259 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"dcasdeque/internal/core/arraydeque"
+	"dcasdeque/internal/spec"
+)
+
+// arraySys is the checker's model of the array-based algorithm: the shared
+// memory (L, R, S) plus one step machine per thread, transliterated from
+// Figures 2, 3, 30, 31 with one step per shared-memory access.  The model
+// implements the algorithm exactly as printed (index recheck at line 7 and
+// the strong DCAS of lines 13–18 both present).
+type arraySys struct {
+	n       int
+	l, r    uint64
+	s       []uint64
+	threads []arrayThread
+	// The two optional code fragments of Section 3, modelled so the
+	// paper's claim that the algorithm "would still be correct if line 7,
+	// and/or lines 17 and 18, were deleted" is checked exhaustively too.
+	strong  bool // lines 13-18: strong DCAS with early empty/full returns
+	recheck bool // line 7: re-read of the end index
+}
+
+// Program counters within one operation.  Local computation is folded into
+// the transition following each memory access, so every step is exactly
+// one Read or one DCAS.
+const (
+	apcReadIdx   = iota // read the end index (line 3)
+	apcReadCell         // read the cell (line 5)
+	apcRecheck          // re-read the end index (line 7)
+	apcEmptyDCAS        // boundary-confirming DCAS (lines 8-10 / full test)
+	apcValueDCAS        // strong DCAS (lines 14-15)
+)
+
+type arrayThread struct {
+	prog []OpSpec
+	opi  int
+	pc   int
+	// registers (oldR/newR/oldS/saveR, or their left-side counterparts)
+	oldI, newI, oldS, saveI uint64
+}
+
+// NewArraySys builds a model of the array deque as printed (both optional
+// optimizations present) with capacity n, initial items (left to right),
+// and one thread per program.  It panics if the initial contents exceed
+// the capacity.
+func NewArraySys(n int, initial []uint64, progs [][]OpSpec) Sys {
+	return NewArraySysVariant(n, initial, progs, true, true)
+}
+
+// NewArraySysVariant additionally selects the optional code fragments:
+// strong enables the lines 13-18 strong-DCAS early returns, recheck the
+// line-7 index re-read.
+func NewArraySysVariant(n int, initial []uint64, progs [][]OpSpec, strong, recheck bool) Sys {
+	if n < 1 {
+		panic("model: capacity must be ≥ 1")
+	}
+	if len(initial) > n {
+		panic("model: more initial items than capacity")
+	}
+	sys := &arraySys{n: n, s: make([]uint64, n), strong: strong, recheck: recheck}
+	// Lay the initial items out exactly as a sequence of pushRights from
+	// the initial L=0, R=1 state would.
+	sys.l, sys.r = 0, uint64(1%n)
+	for _, v := range initial {
+		if v == 0 {
+			panic("model: initial item cannot be null")
+		}
+		sys.s[sys.r] = v
+		sys.r = (sys.r + 1) % uint64(n)
+	}
+	for _, p := range progs {
+		sys.threads = append(sys.threads, arrayThread{prog: p, pc: apcReadIdx})
+	}
+	return sys
+}
+
+func (a *arraySys) Clone() Sys {
+	c := &arraySys{n: a.n, l: a.l, r: a.r, strong: a.strong, recheck: a.recheck}
+	c.s = append([]uint64(nil), a.s...)
+	c.threads = append([]arrayThread(nil), a.threads...)
+	for i := range c.threads {
+		// prog is immutable and shared; registers are value-copied.
+		c.threads[i].prog = a.threads[i].prog
+	}
+	return c
+}
+
+func (a *arraySys) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d,%d|", a.l, a.r)
+	for _, v := range a.s {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	for _, t := range a.threads {
+		fmt.Fprintf(&b, "|%d,%d,%d,%d,%d,%d", t.opi, t.pc, t.oldI, t.newI, t.oldS, t.saveI)
+	}
+	return b.String()
+}
+
+func (a *arraySys) NumThreads() int { return len(a.threads) }
+
+func (a *arraySys) Done(i int) bool { return a.threads[i].opi >= len(a.threads[i].prog) }
+
+// OpsRemaining implements the soloCounter used by the non-blocking check.
+func (a *arraySys) OpsRemaining(i int) int { return len(a.threads[i].prog) - a.threads[i].opi }
+
+func (a *arraySys) Capacity() int { return a.n }
+
+// SoloBound: a solo operation completes within one loop iteration after at
+// most one failed-then-retried round; 3 iterations of ≤ 4 steps is ample.
+func (a *arraySys) SoloBound() int { return 12 }
+
+func (a *arraySys) Abstract() ([]uint64, error) {
+	return arraydeque.Abstract(arraydeque.Snapshot{L: a.l, R: a.r, Cells: append([]uint64(nil), a.s...)})
+}
+
+func (a *arraySys) inc(i uint64) uint64 { return (i + 1) % uint64(a.n) }
+func (a *arraySys) dec(i uint64) uint64 { return (i + uint64(a.n) - 1) % uint64(a.n) }
+
+// Step executes one atomic action of thread i.
+func (a *arraySys) Step(i int, absEmpty bool) (string, *Lin) {
+	t := &a.threads[i]
+	op := t.prog[t.opi]
+	fin := func(val uint64, res spec.Result) *Lin {
+		lin := &Lin{Thread: i, Op: op, Val: val, Res: res}
+		t.opi++
+		t.pc = apcReadIdx
+		t.oldI, t.newI, t.oldS, t.saveI = 0, 0, 0, 0
+		return lin
+	}
+	right := op.Kind == PushRight || op.Kind == PopRight
+	pop := op.Kind == PopLeft || op.Kind == PopRight
+	idx := func() uint64 { // the end counter this op works on
+		if right {
+			return a.r
+		}
+		return a.l
+	}
+	setIdx := func(v uint64) {
+		if right {
+			a.r = v
+		} else {
+			a.l = v
+		}
+	}
+	side := "R"
+	if !right {
+		side = "L"
+	}
+
+	switch t.pc {
+	case apcReadIdx: // line 3
+		t.oldI = idx()
+		if pop {
+			if right {
+				t.newI = a.dec(t.oldI)
+			} else {
+				t.newI = a.inc(t.oldI)
+			}
+		} else {
+			if right {
+				t.newI = a.inc(t.oldI)
+			} else {
+				t.newI = a.dec(t.oldI)
+			}
+		}
+		t.pc = apcReadCell
+		return fmt.Sprintf("%v: read %s=%d", op, side, t.oldI), nil
+
+	case apcReadCell: // line 5
+		cell := t.cellIndex(pop)
+		t.oldS = a.s[cell]
+		boundary := t.oldS == arraydeque.Null // pop: maybe empty
+		if !pop {
+			boundary = t.oldS != arraydeque.Null // push: maybe full
+		}
+		if boundary {
+			if a.recheck {
+				t.pc = apcRecheck
+			} else {
+				t.pc = apcEmptyDCAS
+			}
+		} else {
+			t.saveI = t.oldI
+			t.pc = apcValueDCAS
+		}
+		return fmt.Sprintf("%v: read S[%d]=%d", op, cell, t.oldS), nil
+
+	case apcRecheck: // line 7
+		cur := idx()
+		if cur == t.oldI {
+			t.pc = apcEmptyDCAS
+		} else {
+			t.pc = apcReadIdx
+		}
+		return fmt.Sprintf("%v: recheck %s=%d", op, side, cur), nil
+
+	case apcEmptyDCAS: // lines 8-10: confirm boundary with DCAS
+		cell := t.cellIndex(pop)
+		if idx() == t.oldI && a.s[cell] == t.oldS {
+			// Successful DCAS writing back identical values.
+			if pop {
+				return fmt.Sprintf("%v: empty-DCAS ok", op), fin(0, spec.Empty)
+			}
+			return fmt.Sprintf("%v: full-DCAS ok", op), fin(0, spec.Full)
+		}
+		t.pc = apcReadIdx
+		return fmt.Sprintf("%v: boundary-DCAS failed", op), nil
+
+	case apcValueDCAS: // lines 13-18: strong DCAS
+		cell := t.cellIndex(pop)
+		curI, curS := idx(), a.s[cell]
+		if curI == t.oldI && curS == t.oldS {
+			setIdx(t.newI)
+			if pop {
+				a.s[cell] = arraydeque.Null
+				return fmt.Sprintf("%v: pop-DCAS ok -> %d", op, t.oldS), fin(t.oldS, spec.Okay)
+			}
+			a.s[cell] = op.Arg
+			return fmt.Sprintf("%v: push-DCAS ok", op), fin(0, spec.Okay)
+		}
+		// Failed strong DCAS: an atomic view (curI, curS) is returned.
+		// With the weak form (lines 17-18 deleted) the failure always
+		// retries.
+		if a.strong {
+			if pop {
+				if curI == t.saveI && curS == arraydeque.Null {
+					// Lines 17-18: a competing pop on the other side stole
+					// the last item (Figure 6); the deque was empty at
+					// this DCAS.
+					return fmt.Sprintf("%v: pop-DCAS failed, empty (steal)", op), fin(0, spec.Empty)
+				}
+			} else {
+				if curI == t.saveI {
+					// Line 17: index unchanged, so the cell was non-null:
+					// full.
+					return fmt.Sprintf("%v: push-DCAS failed, full", op), fin(0, spec.Full)
+				}
+			}
+		}
+		t.pc = apcReadIdx
+		return fmt.Sprintf("%v: value-DCAS failed", op), nil
+	}
+	panic("arraySys: invalid pc")
+}
+
+// cellIndex returns the array cell the current op addresses: S[newI] for
+// pops (the cell inward of the end pointer), S[oldI] for pushes.
+func (t *arrayThread) cellIndex(pop bool) uint64 {
+	if pop {
+		return t.newI
+	}
+	return t.oldI
+}

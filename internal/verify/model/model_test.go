@@ -1,0 +1,363 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// allOps enumerates the four operation kinds with distinct push arguments
+// starting at base.
+func allOps(base uint64) []OpSpec {
+	return []OpSpec{
+		{Kind: PushLeft, Arg: base},
+		{Kind: PushRight, Arg: base + 1},
+		{Kind: PopLeft},
+		{Kind: PopRight},
+	}
+}
+
+func mustExplore(t *testing.T, s Sys, opts Options) *Report {
+	t.Helper()
+	rep, v := Explore(s, opts)
+	if v != nil {
+		t.Fatalf("model checker violation: %v", v)
+	}
+	return rep
+}
+
+// --- Array-based algorithm (Theorem 3.1) ---
+
+// TestArrayPairsExhaustive checks every 2-thread combination of single
+// operations against every small capacity and initial fill, with the
+// solo-termination (non-blocking) check enabled.
+func TestArrayPairsExhaustive(t *testing.T) {
+	totalStates := 0
+	for _, n := range []int{1, 2, 3} {
+		for fill := 0; fill <= n && fill <= 2; fill++ {
+			var initial []uint64
+			for i := 0; i < fill; i++ {
+				initial = append(initial, uint64(100+i))
+			}
+			for _, op1 := range allOps(11) {
+				for _, op2 := range allOps(21) {
+					s := NewArraySys(n, initial, [][]OpSpec{{op1}, {op2}})
+					rep := mustExplore(t, s, Options{CheckSolo: true})
+					totalStates += rep.States
+					if rep.Terminals == 0 {
+						t.Fatalf("n=%d fill=%d %v/%v: no terminal state", n, fill, op1, op2)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("array pairs: %d states total", totalStates)
+}
+
+// TestArrayTriplesSingleOp checks all 3-thread single-op programs on a
+// capacity-2 deque holding one item — enough threads that every boundary
+// race (empty and full from both sides) is reachable.
+func TestArrayTriplesSingleOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	total := 0
+	for _, op1 := range allOps(11) {
+		for _, op2 := range allOps(21) {
+			for _, op3 := range allOps(31) {
+				s := NewArraySys(2, []uint64{100}, [][]OpSpec{{op1}, {op2}, {op3}})
+				rep := mustExplore(t, s, Options{})
+				total += rep.States
+			}
+		}
+	}
+	t.Logf("array triples: %d states total", total)
+}
+
+// TestArrayTwoOpPrograms checks 2-thread programs of two operations each
+// (the adversary can now interleave four operations arbitrarily).
+func TestArrayTwoOpPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	progsets := [][]OpSpec{
+		{{Kind: PushRight, Arg: 11}, {Kind: PopRight}},
+		{{Kind: PushLeft, Arg: 12}, {Kind: PopLeft}},
+		{{Kind: PopLeft}, {Kind: PushRight, Arg: 13}},
+		{{Kind: PopRight}, {Kind: PopLeft}},
+		{{Kind: PushRight, Arg: 14}, {Kind: PushLeft, Arg: 15}},
+	}
+	total := 0
+	for _, n := range []int{2, 3} {
+		for _, p1 := range progsets {
+			for _, p2 := range progsets {
+				// Rename thread 2's push arguments for distinctness.
+				p2r := make([]OpSpec, len(p2))
+				for i, op := range p2 {
+					p2r[i] = op
+					if op.Kind == PushLeft || op.Kind == PushRight {
+						p2r[i].Arg = op.Arg + 10
+					}
+				}
+				s := NewArraySys(n, []uint64{100}, [][]OpSpec{p1, p2r})
+				rep := mustExplore(t, s, Options{})
+				total += rep.States
+			}
+		}
+	}
+	t.Logf("array two-op programs: %d states total", total)
+}
+
+// TestArrayFig6BothOutcomes checks the Figure 6 scenario exhaustively: a
+// single-item deque attacked by popLeft and popRight.  Every interleaving
+// must be linearizable, and across interleavings both outcomes — the left
+// pop stealing the item, and the right pop stealing it — must occur,
+// including the path where the loser detects emptiness through the failed
+// strong DCAS (lines 17-18).
+func TestArrayFig6BothOutcomes(t *testing.T) {
+	s := NewArraySys(3, []uint64{7}, [][]OpSpec{{{Kind: PopLeft}}, {{Kind: PopRight}}})
+	rep := mustExplore(t, s, Options{CheckSolo: true})
+	var leftWin, rightWin, stealDetect bool
+	for label, cnt := range rep.Events {
+		if cnt == 0 {
+			continue
+		}
+		if strings.Contains(label, "popLeft()") && strings.Contains(label, "pop-DCAS ok") {
+			leftWin = true
+		}
+		if strings.Contains(label, "popRight()") && strings.Contains(label, "pop-DCAS ok") {
+			rightWin = true
+		}
+		if strings.Contains(label, "empty (steal)") {
+			stealDetect = true
+		}
+	}
+	if !leftWin || !rightWin {
+		t.Fatalf("missing Figure 6 outcome: leftWin=%v rightWin=%v", leftWin, rightWin)
+	}
+	if !stealDetect {
+		t.Fatal("the lines 17-18 steal-detection path was never exercised")
+	}
+}
+
+// TestArrayFullBoundaryRace checks the mirror boundary: a deque with one
+// free cell attacked by pushes from both sides (the Figure 8 completion
+// race); exactly one push can win.
+func TestArrayFullBoundaryRace(t *testing.T) {
+	s := NewArraySys(3, []uint64{100, 101}, [][]OpSpec{
+		{{Kind: PushLeft, Arg: 11}},
+		{{Kind: PushRight, Arg: 21}},
+	})
+	rep := mustExplore(t, s, Options{CheckSolo: true})
+	var fullDetected bool
+	for label, cnt := range rep.Events {
+		if cnt > 0 && strings.Contains(label, "full") {
+			fullDetected = true
+		}
+	}
+	if !fullDetected {
+		t.Fatal("no interleaving reported full on the one-free-cell race")
+	}
+}
+
+// --- Linked-list algorithm (Theorem 4.1) ---
+
+// listStart describes an initial list state.
+type listStart struct {
+	name   string
+	items  []uint64
+	ld, rd bool
+}
+
+func listStarts() []listStart {
+	return []listStart{
+		{name: "empty"},
+		{name: "one", items: []uint64{100}},
+		{name: "two", items: []uint64{100, 101}},
+		{name: "rightDeletedEmpty", rd: true},
+		{name: "leftDeletedEmpty", ld: true},
+		{name: "twoDeletedEmpty", ld: true, rd: true},
+		{name: "oneWithRightMark", items: []uint64{100}, rd: true},
+		{name: "oneWithLeftMark", items: []uint64{100}, ld: true},
+	}
+}
+
+// TestListPairsExhaustive checks every 2-thread single-op combination from
+// every interesting initial state of Figure 9, with the non-blocking solo
+// check enabled.
+func TestListPairsExhaustive(t *testing.T) {
+	total := 0
+	for _, st := range listStarts() {
+		for _, op1 := range allOps(11) {
+			for _, op2 := range allOps(21) {
+				s := NewListSys(st.items, st.ld, st.rd, [][]OpSpec{{op1}, {op2}})
+				rep, v := Explore(s, Options{CheckSolo: true})
+				if v != nil {
+					t.Fatalf("start=%s ops=%v/%v: %v", st.name, op1, op2, v)
+				}
+				if rep.Terminals == 0 {
+					t.Fatalf("start=%s ops=%v/%v: no terminal state", st.name, op1, op2)
+				}
+				total += rep.States
+			}
+		}
+	}
+	t.Logf("list pairs: %d states total", total)
+}
+
+// TestListTriplesSingleOp checks 3-thread single-op programs from the
+// boundary-heavy initial states.
+func TestListTriplesSingleOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	starts := []listStart{
+		{name: "one", items: []uint64{100}},
+		{name: "twoDeletedEmpty", ld: true, rd: true},
+		{name: "oneWithRightMark", items: []uint64{100}, rd: true},
+	}
+	total := 0
+	for _, st := range starts {
+		for _, op1 := range allOps(11) {
+			for _, op2 := range allOps(21) {
+				for _, op3 := range allOps(31) {
+					s := NewListSys(st.items, st.ld, st.rd, [][]OpSpec{{op1}, {op2}, {op3}})
+					rep, v := Explore(s, Options{})
+					if v != nil {
+						t.Fatalf("start=%s ops=%v/%v/%v: %v", st.name, op1, op2, op3, v)
+					}
+					total += rep.States
+				}
+			}
+		}
+	}
+	t.Logf("list triples: %d states total", total)
+}
+
+// TestListTwoOpPrograms checks 2-thread two-op programs on the list.
+func TestListTwoOpPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	progsets := [][]OpSpec{
+		{{Kind: PushRight, Arg: 11}, {Kind: PopRight}},
+		{{Kind: PopLeft}, {Kind: PopRight}},
+		{{Kind: PopRight}, {Kind: PushLeft, Arg: 12}},
+		{{Kind: PushLeft, Arg: 13}, {Kind: PopRight}},
+	}
+	total := 0
+	for _, st := range listStarts() {
+		for _, p1 := range progsets {
+			for _, p2 := range progsets {
+				p2r := make([]OpSpec, len(p2))
+				for i, op := range p2 {
+					p2r[i] = op
+					if op.Kind == PushLeft || op.Kind == PushRight {
+						p2r[i].Arg = op.Arg + 10
+					}
+				}
+				s := NewListSys(st.items, st.ld, st.rd, [][]OpSpec{p1, p2r})
+				rep, v := Explore(s, Options{})
+				if v != nil {
+					t.Fatalf("start=%s: %v", st.name, v)
+				}
+				total += rep.States
+			}
+		}
+	}
+	t.Logf("list two-op programs: %d states total", total)
+}
+
+// TestListFig16BothOutcomes reproduces Figure 16 exhaustively: from the
+// two-deleted-cells empty state, a popLeft (driving deleteLeft) and a
+// popRight (driving deleteRight) contend.  The checker must observe both
+// resolutions: the "right wins" two-null DCAS collapsing the deque in one
+// step, and the "left wins" path where deleteLeft's splice succeeds first
+// and the right deletion completes afterwards.
+func TestListFig16BothOutcomes(t *testing.T) {
+	s := NewListSys(nil, true, true, [][]OpSpec{{{Kind: PopLeft}}, {{Kind: PopRight}}})
+	rep := mustExplore(t, s, Options{CheckSolo: true})
+	var rightTwoNull, leftTwoNull bool
+	for label, cnt := range rep.Events {
+		if cnt == 0 {
+			continue
+		}
+		if strings.Contains(label, "deleteRight: two-null ok") {
+			rightTwoNull = true
+		}
+		if strings.Contains(label, "deleteLeft: two-null ok") {
+			leftTwoNull = true
+		}
+	}
+	if !rightTwoNull || !leftTwoNull {
+		t.Fatalf("missing Figure 16 outcome: deleteRight-wins=%v deleteLeft-wins=%v (events: %v)",
+			rightTwoNull, leftTwoNull, rep.Events)
+	}
+}
+
+// TestListStealScenario is the list-deque analogue of Figure 6: both pops
+// fight over a single item.
+func TestListStealScenario(t *testing.T) {
+	s := NewListSys([]uint64{100}, false, false, [][]OpSpec{{{Kind: PopLeft}}, {{Kind: PopRight}}})
+	rep := mustExplore(t, s, Options{CheckSolo: true})
+	var leftWin, rightWin bool
+	for label, cnt := range rep.Events {
+		if cnt == 0 {
+			continue
+		}
+		if strings.Contains(label, "popLeft()") && strings.Contains(label, "mark-DCAS ok") {
+			leftWin = true
+		}
+		if strings.Contains(label, "popRight()") && strings.Contains(label, "mark-DCAS ok") {
+			rightWin = true
+		}
+	}
+	if !leftWin || !rightWin {
+		t.Fatalf("missing steal outcome: left=%v right=%v", leftWin, rightWin)
+	}
+}
+
+// TestRetroLinearizationExercised confirms the popRight line-3
+// linearization point (Figure 28) is actually exercised: some terminal
+// path returns empty after reading the far sentinel's value.
+func TestRetroLinearizationExercised(t *testing.T) {
+	s := NewListSys(nil, false, false, [][]OpSpec{{{Kind: PopRight}}, {{Kind: PopLeft}}})
+	rep := mustExplore(t, s, Options{})
+	found := false
+	for label, cnt := range rep.Events {
+		if cnt > 0 && strings.Contains(label, "far sentinel") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sentinel-read empty path never taken on the empty deque")
+	}
+}
+
+// TestViolationDetection plants a deliberately broken system to confirm
+// the checker actually fails when an obligation is violated: a mutated
+// array model whose pop skips the cell nulling would corrupt the
+// abstraction.  We simulate this by constructing an initial state that
+// already violates RepInv.
+func TestViolationDetectionBadInitial(t *testing.T) {
+	s := NewArraySys(3, []uint64{1, 2}, nil).(*arraySys)
+	// Corrupt: punch a hole inside the occupied region.
+	s.s[(s.l+1)%uint64(s.n)] = 0
+	_, v := Explore(s, Options{})
+	if v == nil {
+		t.Fatal("checker accepted a state violating RepInv")
+	}
+	if !strings.Contains(v.Msg, "RepInv") {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+// TestViolationDetectionBadList corrupts the list model similarly.
+func TestViolationDetectionBadList(t *testing.T) {
+	s := NewListSys([]uint64{100}, false, false, nil).(*listSys)
+	// Corrupt: break the doubly-linked structure.
+	s.nodes[widx(s.nodes[slIdx].r)].l = mkw(srIdx, false)
+	_, v := Explore(s, Options{})
+	if v == nil {
+		t.Fatal("checker accepted a corrupted list")
+	}
+}

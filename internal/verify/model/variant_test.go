@@ -1,0 +1,64 @@
+package model
+
+import "testing"
+
+// TestArrayVariantsExhaustive verifies the Section 3 claim that "the
+// algorithm would still be correct if line 7, and/or lines 17 and 18,
+// were deleted": all four optimization variants pass the full 2-thread
+// obligation battery (with solo-termination) on every small configuration.
+func TestArrayVariantsExhaustive(t *testing.T) {
+	variants := []struct {
+		name            string
+		strong, recheck bool
+	}{
+		{"strong+recheck", true, true},
+		{"strong", true, false},
+		{"weak+recheck", false, true},
+		{"weak", false, false},
+	}
+	for _, v := range variants {
+		total := 0
+		for _, n := range []int{1, 2, 3} {
+			for fill := 0; fill <= n && fill <= 2; fill++ {
+				var initial []uint64
+				for i := 0; i < fill; i++ {
+					initial = append(initial, uint64(100+i))
+				}
+				for _, op1 := range allOps(11) {
+					for _, op2 := range allOps(21) {
+						s := NewArraySysVariant(n, initial,
+							[][]OpSpec{{op1}, {op2}}, v.strong, v.recheck)
+						rep, viol := Explore(s, Options{CheckSolo: true})
+						if viol != nil {
+							t.Fatalf("%s n=%d fill=%d %v/%v: %v",
+								v.name, n, fill, op1, op2, viol)
+						}
+						total += rep.States
+					}
+				}
+			}
+		}
+		t.Logf("%s: %d states", v.name, total)
+	}
+}
+
+// TestWeakVariantStealRace re-runs the Figure 6 scenario on the weak
+// variant: without lines 17-18 the losing pop cannot take the early
+// "empty (steal)" exit and must retry, but every interleaving must still
+// be linearizable and both winners reachable.
+func TestWeakVariantStealRace(t *testing.T) {
+	s := NewArraySysVariant(3, []uint64{7},
+		[][]OpSpec{{{Kind: PopLeft}}, {{Kind: PopRight}}}, false, false)
+	rep, viol := Explore(s, Options{CheckSolo: true})
+	if viol != nil {
+		t.Fatal(viol)
+	}
+	for label, cnt := range rep.Events {
+		if cnt > 0 && label == "popRight(): pop-DCAS failed, empty (steal)" {
+			t.Fatal("weak variant took the strong-only exit")
+		}
+	}
+	if rep.Terminals == 0 {
+		t.Fatal("no terminal state")
+	}
+}

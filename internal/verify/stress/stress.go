@@ -1,0 +1,144 @@
+// Package stress drives the real deque implementations with concurrent
+// workloads and checks every recorded window of operations for
+// linearizability — the unbounded-schedule complement to the bounded but
+// exhaustive model checker (internal/verify/model).
+package stress
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/hist"
+	"dcasdeque/internal/verify/linearize"
+)
+
+// Deque is the operation vocabulary shared by both core implementations.
+type Deque interface {
+	PushLeft(v uint64) spec.Result
+	PushRight(v uint64) spec.Result
+	PopLeft() (uint64, spec.Result)
+	PopRight() (uint64, spec.Result)
+}
+
+// Config parameterizes a stress run.
+type Config struct {
+	// Threads is the number of concurrent workers per window.
+	Threads int
+	// OpsPerThread is each worker's operation count per window; keep
+	// Threads*OpsPerThread ≤ ~24 so the checker stays fast.
+	OpsPerThread int
+	// Windows is the number of rounds.
+	Windows int
+	// Capacity is the deque's abstract capacity (spec.Unbounded for the
+	// list deque).
+	Capacity int
+	// Items returns the deque's current contents; it is called between
+	// windows while no operations are in flight.
+	Items func() ([]uint64, error)
+	// Seed makes runs reproducible.
+	Seed uint64
+	// PushBias, in percent, is the probability that a generated operation
+	// is a push (default 50).
+	PushBias int
+}
+
+// Stats summarizes a successful run.
+type Stats struct {
+	Windows        int
+	Ops            int
+	StatesExplored int
+}
+
+// Run executes the configured stress test against d.  It returns an error
+// describing the first non-linearizable window encountered, if any.
+func Run(d Deque, cfg Config) (Stats, error) {
+	if cfg.Threads < 1 || cfg.OpsPerThread < 1 || cfg.Windows < 1 {
+		return Stats{}, fmt.Errorf("stress: Threads, OpsPerThread and Windows must be ≥ 1")
+	}
+	if cfg.Threads*cfg.OpsPerThread > 64 {
+		return Stats{}, fmt.Errorf("stress: %d ops per window exceeds the checker's 64-op limit",
+			cfg.Threads*cfg.OpsPerThread)
+	}
+	if cfg.PushBias == 0 {
+		cfg.PushBias = 50
+	}
+	rec := hist.NewRecorder(cfg.Threads)
+	nextVal := uint64(1000) // distinct, above the list deque's reserved words
+	var stats Stats
+
+	for w := 0; w < cfg.Windows; w++ {
+		initial, err := cfg.Items()
+		if err != nil {
+			return stats, fmt.Errorf("stress: snapshot before window %d: %v", w, err)
+		}
+		rec.Reset()
+
+		// Pre-generate each thread's program so workers do no RNG work
+		// while racing.
+		progs := make([][]hist.Kind, cfg.Threads)
+		args := make([][]uint64, cfg.Threads)
+		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)))
+		for t := 0; t < cfg.Threads; t++ {
+			progs[t] = make([]hist.Kind, cfg.OpsPerThread)
+			args[t] = make([]uint64, cfg.OpsPerThread)
+			for i := range progs[t] {
+				if rng.IntN(100) < cfg.PushBias {
+					if rng.IntN(2) == 0 {
+						progs[t][i] = hist.PushLeft
+					} else {
+						progs[t][i] = hist.PushRight
+					}
+					args[t][i] = nextVal
+					nextVal++
+				} else {
+					if rng.IntN(2) == 0 {
+						progs[t][i] = hist.PopLeft
+					} else {
+						progs[t][i] = hist.PopRight
+					}
+				}
+			}
+		}
+
+		var wg sync.WaitGroup
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				for i, k := range progs[t] {
+					inv := rec.Begin()
+					var val uint64
+					var res spec.Result
+					switch k {
+					case hist.PushLeft:
+						res = d.PushLeft(args[t][i])
+					case hist.PushRight:
+						res = d.PushRight(args[t][i])
+					case hist.PopLeft:
+						val, res = d.PopLeft()
+					case hist.PopRight:
+						val, res = d.PopRight()
+					}
+					rec.End(t, k, args[t][i], val, res, inv)
+				}
+			}(t)
+		}
+		wg.Wait()
+
+		ops := rec.Ops()
+		res, err := linearize.Check(ops, cfg.Capacity, initial)
+		if err != nil {
+			return stats, err
+		}
+		if !res.Ok {
+			return stats, fmt.Errorf("stress: window %d is NOT linearizable (initial %v):\n%s",
+				w, initial, linearize.Explain(ops))
+		}
+		stats.Windows++
+		stats.Ops += len(ops)
+		stats.StatesExplored += res.StatesExplored
+	}
+	return stats, nil
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"dcasdeque/internal/baseline/abp"
+)
+
+// RunStealABP executes the same synthetic task tree as RunSteal, but over
+// the Arora–Blumofe–Plaxton deques ([4]) used exactly as designed: the
+// owner pushes and pops at the bottom, thieves steal from the top and
+// retry on Abort.  This is the specialist the paper's general deques are
+// compared against in experiment B4.
+func RunStealABP(cfg StealConfig) (StealResult, error) {
+	if cfg.Workers < 1 || cfg.Depth < 0 || cfg.Depth > 55 {
+		return StealResult{}, fmt.Errorf("workload: bad steal config %+v", cfg)
+	}
+	deques := make([]*abp.Deque, cfg.Workers)
+	for i := range deques {
+		deques[i] = abp.New(cfg.Capacity)
+	}
+	if !deques[0].PushBottom(mkTask(1, cfg.Depth)) {
+		return StealResult{}, fmt.Errorf("workload: cannot push root task")
+	}
+
+	results := make([]stealCounts, cfg.Workers)
+	var pending int64 = 1
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)))
+			my := deques[w]
+			c := &results[w]
+			for {
+				t, r := my.PopBottom()
+				if r != abp.Okay {
+					if loadInt64(&pending) == 0 {
+						return
+					}
+					victim := rng.IntN(cfg.Workers)
+					if victim == w {
+						runtime.Gosched()
+						continue
+					}
+					var sr abp.Result
+					t, sr = deques[victim].PopTop()
+					if sr != abp.Okay {
+						runtime.Gosched()
+						continue
+					}
+					c.steals++
+				}
+				d := taskDepth(t)
+				if d == 0 {
+					c.leaves++
+					addInt64(&pending, -1)
+					continue
+				}
+				id := taskID(t)
+				child1 := mkTask(2*id, d-1)
+				child2 := mkTask(2*id+1, d-1)
+				addInt64(&pending, 2)
+				for !my.PushBottom(child1) {
+					if t2, r2 := my.PopBottom(); r2 == abp.Okay {
+						execInline(t2, c, &pending)
+					}
+				}
+				for !my.PushBottom(child2) {
+					if t2, r2 := my.PopBottom(); r2 == abp.Okay {
+						execInline(t2, c, &pending)
+					}
+				}
+				addInt64(&pending, -1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var res StealResult
+	res.Elapsed = elapsed
+	for _, c := range results {
+		res.Leaves += c.leaves
+		res.Steals += c.steals
+	}
+	want := uint64(1) << uint(cfg.Depth)
+	if res.Leaves != want {
+		return res, fmt.Errorf("workload: executed %d leaves, want %d", res.Leaves, want)
+	}
+	return res, nil
+}

@@ -1,0 +1,9 @@
+package workload
+
+import "sync/atomic"
+
+// Thin wrappers around sync/atomic for the pending-task counter, kept
+// separate so the driver code reads like the algorithm it implements.
+
+func loadInt64(p *int64) int64         { return atomic.LoadInt64(p) }
+func addInt64(p *int64, d int64) int64 { return atomic.AddInt64(p, d) }

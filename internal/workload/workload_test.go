@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"dcasdeque/internal/baseline/greenwald"
+	"dcasdeque/internal/baseline/mutexdeque"
+	"dcasdeque/internal/core/arraydeque"
+	"dcasdeque/internal/core/listdeque"
+	"dcasdeque/internal/spec"
+)
+
+// makers returns constructors for every word-level deque implementation.
+func makers(capacity int) map[string]func() Deque {
+	return map[string]func() Deque{
+		"array": func() Deque { return arraydeque.New(capacity) },
+		"list": func() Deque {
+			return listdeque.New(listdeque.WithMaxNodes(capacity*8 + 16))
+		},
+		"greenwald": func() Deque { return greenwald.New(capacity, nil) },
+		"mutex":     func() Deque { return mutexdeque.New(capacity) },
+	}
+}
+
+func TestRunMixAccounting(t *testing.T) {
+	for name, mk := range makers(64) {
+		t.Run(name, func(t *testing.T) {
+			d := mk()
+			res, err := RunMix(d, MixConfig{
+				Workers: 4, OpsPerWorker: 2000, PushPct: 50, Seed: 1, Prefill: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := res.Pushed + res.Popped + res.Full + res.Empty
+			if total != 4*2000 {
+				t.Fatalf("accounted %d ops, want %d", total, 4*2000)
+			}
+			if res.Throughput.PerSecond() <= 0 {
+				t.Fatal("no throughput measured")
+			}
+			// Conservation: drain and compare against pushed-popped.
+			var remaining uint64
+			for {
+				if _, r := d.PopLeft(); r != spec.Okay {
+					break
+				}
+				remaining++
+			}
+			if res.Pushed+8 != res.Popped+remaining {
+				t.Fatalf("conservation: pushed %d+8 prefill, popped %d, remaining %d",
+					res.Pushed, res.Popped, remaining)
+			}
+		})
+	}
+}
+
+func TestRunMixSplitEnds(t *testing.T) {
+	d := arraydeque.New(128)
+	res, err := RunMix(d, MixConfig{
+		Workers: 4, OpsPerWorker: 1000, PushPct: 60, SplitEnds: true, Seed: 2, Prefill: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pushed == 0 || res.Popped == 0 {
+		t.Fatalf("split-ends run did no work: %+v", res)
+	}
+}
+
+func TestRunMixValidation(t *testing.T) {
+	d := arraydeque.New(4)
+	if _, err := RunMix(d, MixConfig{Workers: 0, OpsPerWorker: 1}); err == nil {
+		t.Fatal("accepted zero workers")
+	}
+	if _, err := RunMix(d, MixConfig{Workers: 1, OpsPerWorker: 1, Prefill: 100}); err == nil {
+		t.Fatal("accepted prefill beyond capacity")
+	}
+}
+
+func TestRunStealCompletesTree(t *testing.T) {
+	for name, mk := range makers(256) {
+		t.Run(name, func(t *testing.T) {
+			res, err := RunSteal(mk, StealConfig{Workers: 4, Depth: 10, Capacity: 256, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Leaves != 1<<10 {
+				t.Fatalf("leaves = %d, want %d", res.Leaves, 1<<10)
+			}
+		})
+	}
+}
+
+func TestRunStealSingleWorker(t *testing.T) {
+	res, err := RunSteal(func() Deque { return arraydeque.New(64) },
+		StealConfig{Workers: 1, Depth: 8, Capacity: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaves != 256 {
+		t.Fatalf("leaves = %d", res.Leaves)
+	}
+	if res.Steals != 0 {
+		t.Fatalf("single worker stole %d tasks", res.Steals)
+	}
+}
+
+func TestRunStealTinyDequeForcesInline(t *testing.T) {
+	// A capacity-2 deque forces the inline-execution fallback; the tree
+	// must still complete exactly.
+	res, err := RunSteal(func() Deque { return arraydeque.New(2) },
+		StealConfig{Workers: 2, Depth: 9, Capacity: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaves != 512 {
+		t.Fatalf("leaves = %d", res.Leaves)
+	}
+}
+
+func TestRunStealABPCompletesTree(t *testing.T) {
+	res, err := RunStealABP(StealConfig{Workers: 4, Depth: 10, Capacity: 256, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaves != 1<<10 {
+		t.Fatalf("leaves = %d", res.Leaves)
+	}
+}
+
+func TestStealConfigValidation(t *testing.T) {
+	if _, err := RunSteal(func() Deque { return arraydeque.New(4) },
+		StealConfig{Workers: 0, Depth: 3, Capacity: 4}); err == nil {
+		t.Fatal("accepted zero workers")
+	}
+	if _, err := RunStealABP(StealConfig{Workers: 1, Depth: 99, Capacity: 4}); err == nil {
+		t.Fatal("accepted absurd depth")
+	}
+}
+
+func TestTaskEncoding(t *testing.T) {
+	for _, c := range []struct {
+		id    uint64
+		depth int
+	}{{1, 0}, {1, 55}, {1 << 40, 7}} {
+		tk := mkTask(c.id, c.depth)
+		if taskID(tk) != c.id || taskDepth(tk) != c.depth {
+			t.Fatalf("task round trip (%d,%d) -> (%d,%d)", c.id, c.depth, taskID(tk), taskDepth(tk))
+		}
+	}
+}

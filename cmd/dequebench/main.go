@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	dequebench [-exp all|b1|b2|b3|b4|b6|b7|b8] [-ops N] [-workers list] [-csv]
+//	dequebench [-exp all|b1|b2|b3|b4|b6|b7|b8|lat|contend] [-ops N]
+//	           [-workers list] [-csv] [-json path] [-cpuprofile path]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,36 +30,59 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment to run: all, b1, b2, b3, b4, b6, b7, b8, lat")
+	expFlag     = flag.String("exp", "all", "experiment to run: all, b1, b2, b3, b4, b6, b7, b8, lat, contend")
 	opsFlag     = flag.Int("ops", 200000, "operations per worker per measurement")
 	workersFlag = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonFlag    = flag.String("json", "", "write the contend experiment's results as JSON to this file")
+	profFlag    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 )
 
 func main() {
 	flag.Parse()
+	os.Exit(run())
+}
+
+// run is main's body; it returns the exit code so that deferred cleanup
+// (profile stop) runs on every path.
+func run() int {
 	workers, err := parseWorkers(*workersFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dequebench:", err)
-		os.Exit(2)
+		return 2
 	}
-	run := map[string]func(io, int, []int){
+	if *profFlag != "" {
+		f, err := os.Create(*profFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dequebench:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dequebench:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	runs := map[string]func(io, int, []int){
 		"b1": expB1, "b2": expB2, "b3": expB3, "b4": expB4,
 		"b6": expB6, "b7": expB7, "b8": expB8, "lat": expLat,
+		"contend": expContend,
 	}
 	out := io{csv: *csvFlag}
 	if *expFlag == "all" {
-		for _, k := range []string{"b1", "b2", "b3", "b4", "b6", "b7", "b8", "lat"} {
-			run[k](out, *opsFlag, workers)
+		for _, k := range []string{"b1", "b2", "b3", "b4", "b6", "b7", "b8", "lat", "contend"} {
+			runs[k](out, *opsFlag, workers)
 		}
-		return
+		return 0
 	}
-	f, ok := run[strings.ToLower(*expFlag)]
+	f, ok := runs[strings.ToLower(*expFlag)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dequebench: unknown experiment %q\n", *expFlag)
-		os.Exit(2)
+		return 2
 	}
 	f(out, *opsFlag, workers)
+	return 0
 }
 
 type io struct{ csv bool }

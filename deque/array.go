@@ -29,9 +29,16 @@ func NewArray[T any](capacity int, opts ...Option) *Array[T] {
 	coreOpts := []arraydeque.Option{
 		arraydeque.WithStrongDCAS(cfg.strongDCAS),
 		arraydeque.WithRecheckIndex(cfg.recheckIndex),
+		arraydeque.WithPaddedCells(cfg.paddedCells),
+		arraydeque.WithBackoff(cfg.backoff),
 	}
-	if cfg.globalLockDCAS {
+	switch {
+	case cfg.globalLockDCAS:
 		coreOpts = append(coreOpts, arraydeque.WithProvider(new(dcas.GlobalLock)))
+	case cfg.endLockDCAS:
+		coreOpts = append(coreOpts, arraydeque.WithProvider(new(dcas.EndLock)))
+	case cfg.bitLockDCAS:
+		coreOpts = append(coreOpts, arraydeque.WithProvider(new(dcas.BitLock)))
 	}
 	// The slot arena needs headroom beyond capacity: a push allocates its
 	// slot before discovering the deque is full, so slots for concurrent

@@ -28,7 +28,11 @@
 // emulation itself.
 package deque
 
-import "errors"
+import (
+	"errors"
+
+	"dcasdeque/internal/dcas"
+)
 
 // Errors returned by deque operations, mirroring the sequential
 // specification's "empty" and "full" responses (Section 2.2).
@@ -61,13 +65,17 @@ type Option func(*config)
 
 type config struct {
 	globalLockDCAS bool
+	bitLockDCAS    bool
+	endLockDCAS    bool
 	strongDCAS     bool
 	recheckIndex   bool
 	nodeReuse      bool
 	eagerDelete    bool
 	dummyNodes     bool
 	lfrc           bool
+	paddedCells    bool
 	maxNodes       int
+	backoff        *dcas.BackoffPolicy
 }
 
 func defaultConfig() config {
@@ -84,6 +92,71 @@ func defaultConfig() config {
 // operations on the deque then serialize; useful only for measurement.
 func WithGlobalLockDCAS() Option {
 	return func(c *config) { c.globalLockDCAS = true }
+}
+
+// WithBitLockDCAS selects the bit-table DCAS emulation: all locations
+// share a single 64-bit lock word and a DCAS acquires both of its
+// locations' bits in one CAS.  It halves the locked read-modify-write
+// operations per DCAS versus the default per-location spinlocks, which is
+// the dominant cost at low core counts, at the price of coarsening the
+// lock space to 64 bits (about one accidental collision per 16 concurrent
+// pairs).  Ignored for LFRC deques, whose reference-count words require
+// the per-location emulation.
+func WithBitLockDCAS() Option {
+	return func(c *config) { c.bitLockDCAS = true }
+}
+
+// WithEndLockDCAS selects the anchored in-word DCAS emulation for the
+// array deque: a DCAS validates and locks the end index with one CAS of
+// the index word itself (marking its spare top bit), arbitrates the cell
+// with a second CAS, and commits with one store — three locked
+// read-modify-writes per DCAS, against four for the bit-table emulation
+// and six for the lock-pair ones.  It is the fastest substrate this
+// library has on the contended two-ends workload.
+//
+// The emulation requires that one location of every DCAS pair is an
+// always-anchor word with a spare bit, which only the array deque's
+// (end, cell) pairs provide; list deques fall back to the bit-table
+// emulation (LFRC to the per-location one, as with WithBitLockDCAS).
+func WithEndLockDCAS() Option {
+	return func(c *config) { c.endLockDCAS = true }
+}
+
+// BackoffConfig tunes the bounded exponential backoff applied after a
+// failed operation attempt.  The zero value selects the library default
+// (spin briefly then yield; yield immediately when GOMAXPROCS is 1).
+type BackoffConfig struct {
+	// MinSpins is the initial spin bound; the bound doubles after each
+	// failed attempt.
+	MinSpins int
+	// MaxSpins caps the growing spin bound; beyond it the operation yields
+	// the processor instead of spinning.
+	MaxSpins int
+}
+
+// WithBackoff enables per-goroutine bounded exponential backoff with
+// jitter on the deque operations' DCAS-retry loops.  Without it a failed
+// attempt retries immediately, re-contending the very locations that just
+// caused the failure.
+func WithBackoff(cfg BackoffConfig) Option {
+	return func(c *config) {
+		if cfg == (BackoffConfig{}) {
+			c.backoff = dcas.DefaultBackoff()
+			return
+		}
+		c.backoff = &dcas.BackoffPolicy{
+			MinSpins: uint32(cfg.MinSpins),
+			MaxSpins: uint32(cfg.MaxSpins),
+		}
+	}
+}
+
+// WithPaddedCells spaces the array deque's cells so no two logical cells
+// share a false-sharing range, at the cost of 8× the array storage.  No
+// effect on the list deques, which already keep their always-hot sentinel
+// words on separate cache lines.
+func WithPaddedCells() Option {
+	return func(c *config) { c.paddedCells = true }
 }
 
 // WithoutStrongDCAS restricts the array deque to the weak (boolean) form

@@ -55,9 +55,18 @@ func NewList[T any](opts ...Option) *List[T] {
 	coreOpts := []listdeque.Option{
 		listdeque.WithMaxNodes(cfg.maxNodes + 2), // + the two sentinels
 		listdeque.WithNodeReuse(cfg.nodeReuse),
+		listdeque.WithBackoff(cfg.backoff),
 	}
-	if cfg.globalLockDCAS {
+	switch {
+	case cfg.globalLockDCAS:
 		coreOpts = append(coreOpts, listdeque.WithProvider(new(dcas.GlobalLock)))
+	case (cfg.bitLockDCAS || cfg.endLockDCAS) && !cfg.lfrc:
+		// LFRC mixes per-location CAS on reference counts with DCAS on the
+		// same locations, which only the per-location emulation linearizes.
+		// EndLock falls back to the bit table here: list-deque link words
+		// appear on both sides of DCAS pairs, outside EndLock's
+		// anchored-pair contract.
+		coreOpts = append(coreOpts, listdeque.WithProvider(new(dcas.BitLock)))
 	}
 	var core listCore
 	switch {

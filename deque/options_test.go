@@ -1,0 +1,97 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+)
+
+// hammer drives a deque from both ends concurrently and checks the popped
+// multiset matches the pushed one.
+func hammer(t *testing.T, d Deque[int]) {
+	t.Helper()
+	const workers = 4
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	popped := make([]map[int]int, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		popped[w] = make(map[int]int)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			left := w%2 == 0
+			for i := 0; i < perWorker; i++ {
+				v := w*perWorker + i + 1
+				for {
+					var err error
+					if left {
+						err = d.PushLeft(v)
+					} else {
+						err = d.PushRight(v)
+					}
+					if err == nil {
+						break
+					}
+				}
+				for {
+					var got int
+					var err error
+					if left {
+						got, err = d.PopRight()
+					} else {
+						got, err = d.PopLeft()
+					}
+					if err == nil {
+						popped[w][got]++
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, m := range popped {
+		for _, n := range m {
+			total += n
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("popped %d values, want %d", total, workers*perWorker)
+	}
+}
+
+// TestEngineeredOptions exercises the contention-engineering options —
+// bit-table DCAS, padded cells, and retry backoff — through the public
+// constructors under concurrent load.
+func TestEngineeredOptions(t *testing.T) {
+	t.Run("ArrayBitLockPaddedBackoff", func(t *testing.T) {
+		hammer(t, NewArray[int](64,
+			WithBitLockDCAS(), WithPaddedCells(), WithBackoff(BackoffConfig{})))
+	})
+	t.Run("ArrayEndLockBackoff", func(t *testing.T) {
+		hammer(t, NewArray[int](64, WithEndLockDCAS(), WithBackoff(BackoffConfig{})))
+	})
+	t.Run("ListEndLockFallsBackToBitLock", func(t *testing.T) {
+		// List deques cannot satisfy EndLock's anchored-pair contract; the
+		// option must degrade to the bit-table emulation, not misbehave.
+		hammer(t, NewList[int](WithEndLockDCAS(), WithBackoff(BackoffConfig{})))
+	})
+	t.Run("ArrayExplicitBackoff", func(t *testing.T) {
+		hammer(t, NewArray[int](64,
+			WithBackoff(BackoffConfig{MinSpins: 4, MaxSpins: 256})))
+	})
+	t.Run("ListBitLockBackoff", func(t *testing.T) {
+		hammer(t, NewList[int](WithBitLockDCAS(), WithBackoff(BackoffConfig{})))
+	})
+	t.Run("ListDummyBitLockBackoff", func(t *testing.T) {
+		hammer(t, NewList[int](WithDummyNodes(), WithBitLockDCAS(),
+			WithBackoff(BackoffConfig{})))
+	})
+	t.Run("ListLFRCBackoff", func(t *testing.T) {
+		// WithBitLockDCAS must be ignored for LFRC (reference counts need
+		// the per-location emulation); the combination must still be safe.
+		hammer(t, NewList[int](WithLFRC(), WithBitLockDCAS(),
+			WithBackoff(BackoffConfig{})))
+	})
+}

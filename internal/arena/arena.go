@@ -241,6 +241,27 @@ func (a *Arena[T]) Alloc() (uint32, bool) {
 	return idx, true
 }
 
+// Reserve permanently claims n fresh contiguous slots and returns the
+// first index, or (Nil, false) if fewer than n contiguous slots remain.
+// Reserved slots are invisible to the allocation accounting: they are
+// never freed, never recycled, and do not count toward Live, Allocs or
+// Frees.  The deque constructors use Reserve to place padding between
+// eagerly allocated hot nodes (the list deques' sentinels) so they land
+// on separate cache lines without perturbing the live-node invariants the
+// correctness tests check.
+func (a *Arena[T]) Reserve(n int) (uint32, bool) {
+	if n < 1 {
+		return Nil, false
+	}
+	first, got := a.bumpAlloc(n)
+	if got < n {
+		// Roll forward: the partially reserved tail slots simply stay
+		// unused; the arena is effectively exhausted anyway.
+		return Nil, false
+	}
+	return first, true
+}
+
 // Free returns a slot to the arena and bumps its generation so that stale
 // tagged references can never match it again.  In gc mode the slot's
 // storage is retired rather than recycled.  Freeing a slot twice without an

@@ -435,3 +435,38 @@ func TestStatsCounts(t *testing.T) {
 	}
 	a.Free(i2)
 }
+
+// TestReserve checks that reserved slots are contiguous, excluded from the
+// live accounting, and disjoint from subsequently allocated slots.
+func TestReserve(t *testing.T) {
+	a := New[int](8)
+	first, ok := a.Reserve(3)
+	if !ok {
+		t.Fatal("Reserve(3) failed on an empty arena")
+	}
+	if a.Live() != 0 || a.Allocs() != 0 || a.Frees() != 0 {
+		t.Fatalf("Reserve changed accounting: live=%d allocs=%d frees=%d",
+			a.Live(), a.Allocs(), a.Frees())
+	}
+	seen := map[uint32]bool{first: true, first + 1: true, first + 2: true}
+	for i := 0; i < 5; i++ {
+		idx, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("Alloc %d failed with capacity left", i)
+		}
+		if seen[idx] {
+			t.Fatalf("Alloc returned reserved or duplicate slot %d", idx)
+		}
+		seen[idx] = true
+	}
+	// 3 reserved + 5 allocated = capacity 8: exhausted.
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("Alloc succeeded past capacity")
+	}
+	if _, ok := a.Reserve(1); ok {
+		t.Fatal("Reserve succeeded past capacity")
+	}
+	if a.Live() != 5 {
+		t.Fatalf("live = %d, want 5", a.Live())
+	}
+}

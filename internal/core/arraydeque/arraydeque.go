@@ -40,26 +40,62 @@ import (
 // Null is the distinguished empty-cell word ("0" in the paper's figures).
 const Null uint64 = 0
 
+// cellShift is the log₂ stride, in Loc-sized units, between logical cells
+// when padded-cell mode is on: 8 Locs per cell keeps consecutive cells at
+// least dcas.FalseSharingRange bytes apart.
+const cellShift = 3
+
 // Deque is an array-based bounded deque.  All methods are safe for
 // concurrent use.  Create with New.
+//
+// The two end indices are the implementation's only always-hot mutable
+// words, so each sits alone in its own false-sharing range: an operation
+// on one end must never invalidate the cache line the opposite end spins
+// on — otherwise the hardware serializes exactly the accesses the
+// algorithm keeps disjoint ("uninterrupted concurrent access to both
+// ends").
 type Deque struct {
 	prov dcas.Provider
-	n    uint64
-	r    dcas.Loc
-	l    dcas.Loc
-	s    []dcas.Loc
+	// el, when non-nil, is prov's concrete type: the four operations then
+	// call it directly so the two DCAS calls per attempt skip interface
+	// dispatch.  The dispatch cost is fixed, so it matters exactly where
+	// this provider is chosen — when the DCAS itself has been engineered
+	// down to three locked instructions.
+	el    *dcas.EndLock
+	n     uint64
+	shift uint // log₂ cell stride in s: 0 packed, cellShift padded
+	s     []dcas.Loc
 
+	backoff      *dcas.BackoffPolicy
 	recheckIndex bool
 	strongDCAS   bool
+
+	_ dcas.CacheLinePad
+	l dcas.Loc
+	_ dcas.CacheLinePad
+	r dcas.Loc
+	_ dcas.CacheLinePad
 }
+
+// cell returns the i-th logical cell (the paper's S[i]).
+func (d *Deque) cell(i uint64) *dcas.Loc { return &d.s[i<<d.shift] }
+
+// endLoad reads an end index.  The EndLock emulation transiently marks an
+// end's word with EndLockBit while a DCAS is in flight; stripping the mark
+// yields the value the in-flight DCAS pinned, which the end legitimately
+// holds at this instant.  End indices are always < n, so the strip is a
+// no-op under every other provider.
+func (d *Deque) endLoad(l *dcas.Loc) uint64 { return l.Load() &^ dcas.EndLockBit }
 
 // Option configures a Deque.
 type Option func(*options)
 
 type options struct {
 	prov         dcas.Provider
+	backoff      *dcas.BackoffPolicy
 	recheckIndex bool
 	strongDCAS   bool
+	paddedCells  bool
 }
 
 // WithProvider selects the DCAS emulation (default: a fresh dcas.TwoLock).
@@ -74,6 +110,22 @@ func WithProvider(p dcas.Provider) Option {
 // processor 'stole' the item"; disabling it is also correct.  Default on.
 func WithRecheckIndex(on bool) Option {
 	return func(o *options) { o.recheckIndex = on }
+}
+
+// WithPaddedCells spaces the cells of S so that no two logical cells share
+// a false-sharing range (dcas.FalseSharingRange bytes): an operation
+// retrying against cell i then cannot be slowed by unrelated traffic on
+// cell i±1.  It costs 8× the array storage.  Default off.
+func WithPaddedCells(on bool) Option {
+	return func(o *options) { o.paddedCells = on }
+}
+
+// WithBackoff installs a bounded-exponential-backoff policy applied after
+// every failed operation attempt (a DCAS that lost to a competitor, or an
+// index recheck that observed the end moving).  A nil policy — the default
+// — retries immediately.
+func WithBackoff(p *dcas.BackoffPolicy) Option {
+	return func(o *options) { o.backoff = p }
 }
 
 // WithStrongDCAS enables or disables the lines 13–18 optimization: using
@@ -102,47 +154,99 @@ func New(n int, opts ...Option) *Deque {
 	d := &Deque{
 		prov:         o.prov,
 		n:            uint64(n),
-		s:            make([]dcas.Loc, n),
+		backoff:      o.backoff,
 		recheckIndex: o.recheckIndex,
 		strongDCAS:   o.strongDCAS,
 	}
+	if o.paddedCells {
+		d.shift = cellShift
+	}
+	d.el, _ = o.prov.(*dcas.EndLock)
+	d.s = make([]dcas.Loc, uint64(n)<<d.shift)
 	d.l.Init(0)
 	d.r.Init(1 % d.n)
+	// Pre-assign the lock-ordering tokens while the deque is still private,
+	// keeping the lazy-assignment CAS off the DCAS hot path.
+	locs := make([]*dcas.Loc, 0, n+2)
+	locs = append(locs, &d.l, &d.r)
+	for i := uint64(0); i < d.n; i++ {
+		locs = append(locs, d.cell(i))
+	}
+	dcas.AssignIDs(locs...)
 	return d
 }
 
 // Cap reports the deque's capacity length_S.
 func (d *Deque) Cap() int { return int(d.n) }
 
-// inc returns (i + 1) mod n.
-func (d *Deque) inc(i uint64) uint64 { return (i + 1) % d.n }
+// inc returns (i + 1) mod n.  Indices are always in [0, n), so the wrap
+// is a compare instead of a hardware divide (a variable modulus would put
+// a DIV on every operation's hot path).
+func (d *Deque) inc(i uint64) uint64 {
+	if i+1 == d.n {
+		return 0
+	}
+	return i + 1
+}
 
 // dec returns (i - 1) mod n, with the paper's convention that mod yields a
 // value in [0, n).
-func (d *Deque) dec(i uint64) uint64 { return (i + d.n - 1) % d.n }
+func (d *Deque) dec(i uint64) uint64 {
+	if i == 0 {
+		return d.n - 1
+	}
+	return i - 1
+}
 
 // PopRight implements Figure 2.  It returns (v, Okay) when an item was
 // popped from the right end, or (0, Empty) when the deque was observed
 // empty at the operation's linearization point.
 func (d *Deque) PopRight() (uint64, spec.Result) {
+	bo := d.backoff.Start()
 	for {
-		oldR := d.r.Load()       // line 3
-		newR := d.dec(oldR)      // line 4
-		oldS := d.s[newR].Load() // line 5
-		if oldS == Null {        // line 6
-			if !d.recheckIndex || oldR == d.r.Load() { // line 7
+		oldR := d.endLoad(&d.r)      // line 3
+		newR := d.dec(oldR)     // line 4
+		cell := d.cell(newR)    // the paper's S[R-1]
+		oldS := cell.Load()     // line 5
+		if oldS == Null {       // line 6
+			if !d.recheckIndex || oldR == d.endLoad(&d.r) { // line 7
 				// The deque can be declared empty only on an instantaneous
 				// view of R and S[R-1]; the DCAS below confirms exactly
 				// that (lines 8-10).
-				if d.prov.DCAS(&d.r, &d.s[newR], oldR, oldS, oldR, oldS) {
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+				} else {
+					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+				}
+				if ok {
 					return 0, spec.Empty
 				}
 			}
 		} else {
 			if d.strongDCAS {
 				saveR := oldR // line 13
-				v1, v2, ok := d.prov.DCASView(&d.r, &d.s[newR],
-					oldR, oldS, newR, Null) // lines 14-15
+				var v1, v2 uint64
+				var ok bool
+				if d.el != nil {
+					// Inlined EndLock fast path (mark anchor, arbitrate
+					// cell, commit); EndLock.DCASView is the authority on
+					// the protocol and handles the marked-anchor slow case.
+					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
+						if cell.RawCAS(oldS, Null) {
+							d.r.RawStore(newR)
+							return oldS, spec.Okay // line 16
+						}
+						v1, v2 = oldR, cell.Load() // view under the mark
+						d.r.RawStore(oldR)
+					} else {
+						v1, v2, ok = d.el.DCASView(&d.r, cell,
+							oldR, oldS, newR, Null) // lines 14-15
+					}
+				} else {
+					v1, v2, ok = d.prov.DCASView(&d.r, cell,
+						oldR, oldS, newR, Null)
+				}
 				if ok {
 					return oldS, spec.Okay // line 16
 				}
@@ -153,11 +257,18 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					}
 				}
 			} else {
-				if d.prov.DCAS(&d.r, &d.s[newR], oldR, oldS, newR, Null) {
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.r, cell, oldR, oldS, newR, Null)
+				} else {
+					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, newR, Null)
+				}
+				if ok {
 					return oldS, spec.Okay
 				}
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -168,21 +279,46 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 	if v == Null {
 		panic("arraydeque: cannot push the distinguished null value")
 	}
+	bo := d.backoff.Start()
 	for {
-		oldR := d.r.Load()       // line 3
-		newR := d.inc(oldR)      // line 4
-		oldS := d.s[oldR].Load() // line 5
-		if oldS != Null {        // line 6
-			if !d.recheckIndex || oldR == d.r.Load() { // line 7
-				if d.prov.DCAS(&d.r, &d.s[oldR], oldR, oldS, oldR, oldS) {
+		oldR := d.endLoad(&d.r)   // line 3
+		newR := d.inc(oldR)  // line 4
+		cell := d.cell(oldR) // the paper's S[R]
+		oldS := cell.Load()  // line 5
+		if oldS != Null {    // line 6
+			if !d.recheckIndex || oldR == d.endLoad(&d.r) { // line 7
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+				} else {
+					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+				}
+				if ok {
 					return spec.Full // line 10
 				}
 			}
 		} else {
 			if d.strongDCAS {
 				saveR := oldR // line 13
-				v1, _, ok := d.prov.DCASView(&d.r, &d.s[oldR],
-					oldR, oldS, newR, v) // lines 14-15
+				var v1 uint64
+				var ok bool
+				if d.el != nil {
+					// Inlined EndLock fast path; see PopRight.
+					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
+						if cell.RawCAS(oldS, v) {
+							d.r.RawStore(newR)
+							return spec.Okay // line 16
+						}
+						v1 = oldR // anchor pinned, so the cell was non-null
+						d.r.RawStore(oldR)
+					} else {
+						v1, _, ok = d.el.DCASView(&d.r, cell,
+							oldR, oldS, newR, v) // lines 14-15
+					}
+				} else {
+					v1, _, ok = d.prov.DCASView(&d.r, cell,
+						oldR, oldS, newR, v)
+				}
 				if ok {
 					return spec.Okay // line 16
 				}
@@ -190,31 +326,63 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 					return spec.Full // a non-null cell: the deque is full
 				}
 			} else {
-				if d.prov.DCAS(&d.r, &d.s[oldR], oldR, Null, newR, v) {
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.r, cell, oldR, Null, newR, v)
+				} else {
+					ok = d.prov.DCAS(&d.r, cell, oldR, Null, newR, v)
+				}
+				if ok {
 					return spec.Okay
 				}
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
 // PopLeft implements Figure 30, the mirror image of PopRight.
 func (d *Deque) PopLeft() (uint64, spec.Result) {
+	bo := d.backoff.Start()
 	for {
-		oldL := d.l.Load()       // line 3
-		newL := d.inc(oldL)      // line 4
-		oldS := d.s[newL].Load() // line 5
-		if oldS == Null {        // line 6
-			if !d.recheckIndex || oldL == d.l.Load() { // line 7
-				if d.prov.DCAS(&d.l, &d.s[newL], oldL, oldS, oldL, oldS) {
+		oldL := d.endLoad(&d.l)   // line 3
+		newL := d.inc(oldL)  // line 4
+		cell := d.cell(newL) // the paper's S[L+1]
+		oldS := cell.Load()  // line 5
+		if oldS == Null {    // line 6
+			if !d.recheckIndex || oldL == d.endLoad(&d.l) { // line 7
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+				} else {
+					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+				}
+				if ok {
 					return 0, spec.Empty
 				}
 			}
 		} else {
 			if d.strongDCAS {
 				saveL := oldL
-				v1, v2, ok := d.prov.DCASView(&d.l, &d.s[newL],
-					oldL, oldS, newL, Null)
+				var v1, v2 uint64
+				var ok bool
+				if d.el != nil {
+					// Inlined EndLock fast path; see PopRight.
+					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
+						if cell.RawCAS(oldS, Null) {
+							d.l.RawStore(newL)
+							return oldS, spec.Okay
+						}
+						v1, v2 = oldL, cell.Load()
+						d.l.RawStore(oldL)
+					} else {
+						v1, v2, ok = d.el.DCASView(&d.l, cell,
+							oldL, oldS, newL, Null)
+					}
+				} else {
+					v1, v2, ok = d.prov.DCASView(&d.l, cell,
+						oldL, oldS, newL, Null)
+				}
 				if ok {
 					return oldS, spec.Okay
 				}
@@ -225,11 +393,18 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 					}
 				}
 			} else {
-				if d.prov.DCAS(&d.l, &d.s[newL], oldL, oldS, newL, Null) {
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.l, cell, oldL, oldS, newL, Null)
+				} else {
+					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, newL, Null)
+				}
+				if ok {
 					return oldS, spec.Okay
 				}
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -239,21 +414,46 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 	if v == Null {
 		panic("arraydeque: cannot push the distinguished null value")
 	}
+	bo := d.backoff.Start()
 	for {
-		oldL := d.l.Load()       // line 3
-		newL := d.dec(oldL)      // line 4
-		oldS := d.s[oldL].Load() // line 5
-		if oldS != Null {        // line 6
-			if !d.recheckIndex || oldL == d.l.Load() { // line 7
-				if d.prov.DCAS(&d.l, &d.s[oldL], oldL, oldS, oldL, oldS) {
+		oldL := d.endLoad(&d.l)   // line 3
+		newL := d.dec(oldL)  // line 4
+		cell := d.cell(oldL) // the paper's S[L]
+		oldS := cell.Load()  // line 5
+		if oldS != Null {    // line 6
+			if !d.recheckIndex || oldL == d.endLoad(&d.l) { // line 7
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+				} else {
+					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+				}
+				if ok {
 					return spec.Full
 				}
 			}
 		} else {
 			if d.strongDCAS {
 				saveL := oldL
-				v1, _, ok := d.prov.DCASView(&d.l, &d.s[oldL],
-					oldL, oldS, newL, v)
+				var v1 uint64
+				var ok bool
+				if d.el != nil {
+					// Inlined EndLock fast path; see PopRight.
+					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
+						if cell.RawCAS(oldS, v) {
+							d.l.RawStore(newL)
+							return spec.Okay
+						}
+						v1 = oldL
+						d.l.RawStore(oldL)
+					} else {
+						v1, _, ok = d.el.DCASView(&d.l, cell,
+							oldL, oldS, newL, v)
+					}
+				} else {
+					v1, _, ok = d.prov.DCASView(&d.l, cell,
+						oldL, oldS, newL, v)
+				}
 				if ok {
 					return spec.Okay
 				}
@@ -261,10 +461,17 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 					return spec.Full
 				}
 			} else {
-				if d.prov.DCAS(&d.l, &d.s[oldL], oldL, Null, newL, v) {
+				var ok bool
+				if d.el != nil {
+					ok = d.el.DCAS(&d.l, cell, oldL, Null, newL, v)
+				} else {
+					ok = d.prov.DCAS(&d.l, cell, oldL, Null, newL, v)
+				}
+				if ok {
 					return spec.Okay
 				}
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }

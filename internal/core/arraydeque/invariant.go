@@ -29,9 +29,9 @@ type Snapshot struct {
 func (d *Deque) Snapshot() Snapshot {
 	cells := make([]uint64, d.n)
 	for i := range cells {
-		cells[i] = d.s[i].Load()
+		cells[i] = d.cell(uint64(i)).Load()
 	}
-	return Snapshot{L: d.l.Load(), R: d.r.Load(), Cells: cells}
+	return Snapshot{L: d.endLoad(&d.l), R: d.endLoad(&d.r), Cells: cells}
 }
 
 // RepInv checks the representation invariant of Figure 18 on a state

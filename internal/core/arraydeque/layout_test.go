@@ -1,0 +1,85 @@
+package arraydeque
+
+import (
+	"testing"
+	"unsafe"
+
+	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/spec"
+)
+
+// TestEndIndexLayout pins the cache geometry of the two end indices: L and
+// R must sit in disjoint false-sharing ranges, separated from each other
+// and from the header fields, so opposite-end operations never contend for
+// a cache line the algorithm keeps them off of.
+func TestEndIndexLayout(t *testing.T) {
+	var d Deque
+	offL := unsafe.Offsetof(d.l)
+	offR := unsafe.Offsetof(d.r)
+	if offR < offL {
+		offL, offR = offR, offL
+	}
+	if offR-offL < dcas.FalseSharingRange {
+		t.Fatalf("l and r are %d bytes apart, want ≥ %d", offR-offL, dcas.FalseSharingRange)
+	}
+	// The leading mutable word of l must also clear the header fields
+	// (prov, n, s, ...) by a full range.
+	if offL < dcas.FalseSharingRange {
+		t.Fatalf("l at offset %d is within %d bytes of the header", offL, dcas.FalseSharingRange)
+	}
+	// And r must not share a line with whatever follows the struct.
+	if trail := unsafe.Sizeof(d) - offR; trail < dcas.FalseSharingRange {
+		t.Fatalf("r trailed by only %d bytes, want ≥ %d", trail, dcas.FalseSharingRange)
+	}
+	dd := New(8)
+	if a, b := dcas.CacheLineOf(unsafe.Pointer(&dd.l)), dcas.CacheLineOf(unsafe.Pointer(&dd.r)); a == b {
+		t.Fatalf("l and r share cache line %d", a)
+	}
+}
+
+// TestPaddedCellLayout checks the striding mode: consecutive logical cells
+// must land in disjoint false-sharing ranges.
+func TestPaddedCellLayout(t *testing.T) {
+	d := New(8, WithPaddedCells(true))
+	for i := uint64(0); i < 7; i++ {
+		a := uintptr(unsafe.Pointer(d.cell(i)))
+		b := uintptr(unsafe.Pointer(d.cell(i + 1)))
+		if b-a < dcas.FalseSharingRange {
+			t.Fatalf("cells %d and %d are %d bytes apart, want ≥ %d",
+				i, i+1, b-a, dcas.FalseSharingRange)
+		}
+		if dcas.CacheLineOf(unsafe.Pointer(d.cell(i))) == dcas.CacheLineOf(unsafe.Pointer(d.cell(i+1))) {
+			t.Fatalf("padded cells %d and %d share a cache line", i, i+1)
+		}
+	}
+}
+
+// TestPaddedCellsFunctional runs a full push/pop cycle in padded mode with
+// the representation invariant checked throughout, so the striding can
+// never silently alias two logical cells.
+func TestPaddedCellsFunctional(t *testing.T) {
+	d := New(4, WithPaddedCells(true))
+	for i := uint64(1); i <= 4; i++ {
+		if r := d.PushRight(i); r != spec.Okay {
+			t.Fatalf("PushRight(%d) = %v", i, r)
+		}
+		if err := d.CheckRepInv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := d.PushLeft(9); r != spec.Full {
+		t.Fatalf("push on full deque = %v, want Full", r)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		v, r := d.PopLeft()
+		if r != spec.Okay || v != i {
+			t.Fatalf("PopLeft = (%d, %v), want (%d, Okay)", v, r, i)
+		}
+		if err := d.CheckRepInv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, r := d.PopRight(); r != spec.Empty {
+		t.Fatalf("pop on empty deque = %v, want Empty", r)
+	}
+}

@@ -38,6 +38,8 @@ type DummyDeque struct {
 	slPtr  tagptr.Word
 	srPtr  tagptr.Word
 
+	backoff *dcas.BackoffPolicy
+
 	// itemLimit caps live regular nodes; the arena is sized itemLimit +
 	// dummyHeadroom so that pops can always allocate their delete-bit
 	// dummy while at most dummyHeadroom−2 pop operations are in flight.
@@ -63,13 +65,14 @@ func NewDummy(opts ...Option) *DummyDeque {
 	if o.maxNodes < 4 {
 		panic("listdeque: dummy variant needs at least 4 nodes")
 	}
-	ar := arena.New[node](o.maxNodes+dummyHeadroom, arena.WithReuse(o.reuse))
+	ar := arena.New[node](o.maxNodes+dummyHeadroom+sentinelSpacerSlots, arena.WithReuse(o.reuse))
 	sl, ok1 := ar.Alloc()
+	_, okSp := ar.Reserve(sentinelSpacerSlots)
 	sr, ok2 := ar.Alloc()
-	if !ok1 || !ok2 {
+	if !ok1 || !okSp || !ok2 {
 		panic("listdeque: sentinel allocation failed")
 	}
-	d := &DummyDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, itemLimit: o.maxNodes}
+	d := &DummyDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, itemLimit: o.maxNodes}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
 	d.node(sl).val.Init(SentL)
@@ -78,6 +81,8 @@ func NewDummy(opts ...Option) *DummyDeque {
 	d.node(sr).val.Init(SentR)
 	d.node(sr).l.Init(d.slPtr)
 	d.node(sr).r.Init(tagptr.Nil)
+	dcas.AssignIDs(&d.node(sl).l, &d.node(sl).r, &d.node(sl).val,
+		&d.node(sr).l, &d.node(sr).r, &d.node(sr).val)
 	return d
 }
 
@@ -109,6 +114,7 @@ func (d *DummyDeque) mkDummy(real tagptr.Word, right bool) (tagptr.Word, uint32,
 		return tagptr.Nil, 0, false
 	}
 	n := d.node(idx)
+	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	n.val.Init(Dummy)
 	if right {
 		n.l.Init(real)
@@ -123,6 +129,7 @@ func (d *DummyDeque) mkDummy(real tagptr.Word, right bool) (tagptr.Word, uint32,
 // PopRight implements Figure 11 over the dummy representation.
 func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 	srL := &d.node(d.sr).l
+	bo := d.backoff.Start()
 	for {
 		raw := srL.Load()
 		real, deleted := d.resolve(raw, true)
@@ -153,6 +160,7 @@ func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 			}
 			d.ar.Free(didx) // never published
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -170,7 +178,9 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	n := d.node(idx)
+	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	srL := &d.node(d.sr).l
+	bo := d.backoff.Start()
 	for {
 		raw := srL.Load()
 		if _, deleted := d.resolve(raw, true); deleted {
@@ -183,6 +193,7 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 		if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(raw)).r, raw, d.srPtr, nw, nw) {
 			return spec.Okay
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -229,6 +240,7 @@ func (d *DummyDeque) deleteRight() {
 // PopLeft mirrors PopRight.
 func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 	slR := &d.node(d.sl).r
+	bo := d.backoff.Start()
 	for {
 		raw := slR.Load()
 		real, deleted := d.resolve(raw, false)
@@ -255,6 +267,7 @@ func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 			}
 			d.ar.Free(didx)
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -272,7 +285,9 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	n := d.node(idx)
+	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	slR := &d.node(d.sl).r
+	bo := d.backoff.Start()
 	for {
 		raw := slR.Load()
 		if _, deleted := d.resolve(raw, false); deleted {
@@ -285,6 +300,7 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 		if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(raw)).l, raw, d.slPtr, nw, nw) {
 			return spec.Okay
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 

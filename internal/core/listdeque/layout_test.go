@@ -1,0 +1,61 @@
+package listdeque
+
+import (
+	"testing"
+	"unsafe"
+
+	"dcasdeque/internal/dcas"
+)
+
+// The list deques' always-hot words are the sentinels' inward pointers:
+// every operation loads (and most DCAS) SL.r or SR.l.  The constructors
+// reserve spacer slots between the two sentinel allocations so those words
+// land in disjoint false-sharing ranges; these tests pin that geometry.
+
+func hotWordGap(t *testing.T, name string, slR, srL unsafe.Pointer) {
+	t.Helper()
+	a, b := uintptr(slR), uintptr(srL)
+	if b < a {
+		a, b = b, a
+	}
+	if gap := b - a; gap < dcas.FalseSharingRange {
+		t.Fatalf("%s: sentinel hot words %d bytes apart, want ≥ %d",
+			name, gap, dcas.FalseSharingRange)
+	}
+	if dcas.CacheLineOf(slR) == dcas.CacheLineOf(srL) {
+		t.Fatalf("%s: sentinel hot words share a cache line", name)
+	}
+}
+
+func TestSentinelLayout(t *testing.T) {
+	d := New()
+	hotWordGap(t, "New",
+		unsafe.Pointer(&d.node(d.sl).r), unsafe.Pointer(&d.node(d.sr).l))
+}
+
+func TestSentinelLayoutDummy(t *testing.T) {
+	d := NewDummy()
+	hotWordGap(t, "NewDummy",
+		unsafe.Pointer(&d.node(d.sl).r), unsafe.Pointer(&d.node(d.sr).l))
+}
+
+func TestSentinelLayoutLFRC(t *testing.T) {
+	d := NewLFRC()
+	hotWordGap(t, "NewLFRC",
+		unsafe.Pointer(&d.node(d.sl).r), unsafe.Pointer(&d.node(d.sr).l))
+}
+
+// TestSentinelSpacerAccounting checks that the spacer reservation is
+// invisible to the arena accounting the correctness tests rely on: a fresh
+// deque reports exactly its two sentinels live.
+func TestSentinelSpacerAccounting(t *testing.T) {
+	if live := New().Arena().Live(); live != 2 {
+		t.Fatalf("New: fresh deque has %d live nodes, want 2", live)
+	}
+	if live := NewDummy().Arena().Live(); live != 2 {
+		t.Fatalf("NewDummy: fresh deque has %d live nodes, want 2", live)
+	}
+	if live := NewLFRC().Arena().Live(); live != 2 {
+		t.Fatalf("NewLFRC: fresh deque has %d live nodes, want 2", live)
+	}
+}

@@ -39,6 +39,8 @@ type LFRCDeque struct {
 	sl, sr uint32
 	slPtr  tagptr.Word
 	srPtr  tagptr.Word
+
+	backoff *dcas.BackoffPolicy
 }
 
 // rcNode is a list node with a reference count.
@@ -62,13 +64,14 @@ func NewLFRC(opts ...Option) *LFRCDeque {
 	if o.maxNodes < 3 {
 		panic("listdeque: need at least 3 nodes")
 	}
-	ar := arena.New[rcNode](o.maxNodes)
+	ar := arena.New[rcNode](o.maxNodes + sentinelSpacerSlots)
 	sl, ok1 := ar.Alloc()
+	_, okSp := ar.Reserve(sentinelSpacerSlots)
 	sr, ok2 := ar.Alloc()
-	if !ok1 || !ok2 {
+	if !ok1 || !okSp || !ok2 {
 		panic("listdeque: sentinel allocation failed")
 	}
-	d := &LFRCDeque{prov: o.prov, ar: ar, sl: sl, sr: sr}
+	d := &LFRCDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
 	d.node(sl).val.Init(SentL)
@@ -79,6 +82,8 @@ func NewLFRC(opts ...Option) *LFRCDeque {
 	d.node(sr).l.Init(d.slPtr)
 	d.node(sr).r.Init(tagptr.Nil)
 	d.node(sr).rc.Init(1) // permanent
+	dcas.AssignIDs(&d.node(sl).l, &d.node(sl).r, &d.node(sl).val, &d.node(sl).rc,
+		&d.node(sr).l, &d.node(sr).r, &d.node(sr).val, &d.node(sr).rc)
 	return d
 }
 
@@ -167,6 +172,7 @@ func (d *LFRCDeque) load(loc *dcas.Loc) tagptr.Word {
 // PopRight implements Figure 11 with LFRC bookkeeping.
 func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 	srL := &d.node(d.sr).l
+	bo := d.backoff.Start()
 	for {
 		oldL := d.load(srL) // counted local ref (unless sentinel)
 		ln := d.node(tagptr.MustIdx(oldL))
@@ -196,6 +202,7 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 				return v, spec.Okay
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -209,9 +216,11 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 		return spec.Full
 	}
 	n := d.node(idx)
+	dcas.AssignIDs(&n.l, &n.r, &n.val, &n.rc)
 	n.rc.Init(1) // our local reference
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	srL := &d.node(d.sr).l
+	bo := d.backoff.Start()
 	for {
 		oldL := d.load(srL)
 		if tagptr.Deleted(oldL) {
@@ -237,6 +246,7 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 		// Retry: reclaim the load reference (the n.l link will be
 		// overwritten next iteration).
 		d.release(oldL)
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -318,6 +328,7 @@ func (d *LFRCDeque) severLink(link *dcas.Loc, target tagptr.Word, sentinelWord t
 // PopLeft mirrors PopRight.
 func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 	slR := &d.node(d.sl).r
+	bo := d.backoff.Start()
 	for {
 		oldR := d.load(slR)
 		rn := d.node(tagptr.MustIdx(oldR))
@@ -345,6 +356,7 @@ func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 				return v, spec.Okay
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -358,9 +370,11 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 		return spec.Full
 	}
 	n := d.node(idx)
+	dcas.AssignIDs(&n.l, &n.r, &n.val, &n.rc)
 	n.rc.Init(1)
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	slR := &d.node(d.sl).r
+	bo := d.backoff.Start()
 	for {
 		oldR := d.load(slR)
 		if tagptr.Deleted(oldR) {
@@ -378,6 +392,7 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 			return spec.Okay
 		}
 		d.release(oldR)
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 

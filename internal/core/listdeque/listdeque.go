@@ -63,6 +63,15 @@ type node struct {
 	val  dcas.Loc
 }
 
+// sentinelSpacerSlots is the number of arena slots reserved between the
+// two sentinels at construction.  The deque's always-hot words are the
+// sentinels' inward pointers (SL.r and SR.l); with the sentinels allocated
+// back-to-back those words sit 48 bytes apart — inside one false-sharing
+// range — so every left-end operation would invalidate the line every
+// right-end operation spins on.  Two spacer node slots put the hot words
+// ≥ dcas.FalseSharingRange bytes apart for both node layouts.
+const sentinelSpacerSlots = 2
+
 // Deque is a linked-list-based unbounded deque.  All methods are safe for
 // concurrent use.  Create with New.
 type Deque struct {
@@ -73,6 +82,7 @@ type Deque struct {
 	slPtr  tagptr.Word
 	srPtr  tagptr.Word
 
+	backoff     *dcas.BackoffPolicy
 	eagerDelete bool
 }
 
@@ -81,6 +91,7 @@ type Option func(*options)
 
 type options struct {
 	prov        dcas.Provider
+	backoff     *dcas.BackoffPolicy
 	maxNodes    int
 	reuse       bool
 	eagerDelete bool
@@ -108,6 +119,16 @@ func WithNodeReuse(on bool) Option {
 	return func(o *options) { o.reuse = on }
 }
 
+// WithBackoff installs a bounded-exponential-backoff policy applied after
+// every failed operation attempt (a DCAS that lost to a competitor).  The
+// helping paths — deleteRight/deleteLeft and the retries they force — never
+// back off: delaying a physical deletion delays every operation on that
+// side.  A nil policy — the default — retries immediately.  Shared by New,
+// NewDummy and NewLFRC.
+func WithBackoff(p *dcas.BackoffPolicy) Option {
+	return func(o *options) { o.backoff = p }
+}
+
 // WithEagerDelete makes a successful pop call the physical-deletion
 // procedure itself before returning, per the paper's footnote 6: "the
 // popRight operation could also call the deleteRight procedure before
@@ -130,10 +151,11 @@ func New(opts ...Option) *Deque {
 	if o.maxNodes < 3 {
 		panic("listdeque: need at least 3 nodes (two sentinels and an item)")
 	}
-	ar := arena.New[node](o.maxNodes, arena.WithReuse(o.reuse))
+	ar := arena.New[node](o.maxNodes+sentinelSpacerSlots, arena.WithReuse(o.reuse))
 	sl, ok1 := ar.Alloc()
+	_, okSp := ar.Reserve(sentinelSpacerSlots)
 	sr, ok2 := ar.Alloc()
-	if !ok1 || !ok2 {
+	if !ok1 || !okSp || !ok2 {
 		panic("listdeque: sentinel allocation failed")
 	}
 	d := &Deque{
@@ -141,6 +163,7 @@ func New(opts ...Option) *Deque {
 		ar:          ar,
 		sl:          sl,
 		sr:          sr,
+		backoff:     o.backoff,
 		eagerDelete: o.eagerDelete,
 	}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
@@ -153,6 +176,10 @@ func New(opts ...Option) *Deque {
 	d.node(sr).val.Init(SentR)
 	d.node(sr).l.Init(d.slPtr)
 	d.node(sr).r.Init(tagptr.Nil)
+	// Pre-assign lock-ordering tokens while the deque is still private,
+	// keeping the lazy-assignment CAS off the DCAS hot path.
+	dcas.AssignIDs(&d.node(sl).l, &d.node(sl).r, &d.node(sl).val,
+		&d.node(sr).l, &d.node(sr).r, &d.node(sr).val)
 	return d
 }
 
@@ -168,6 +195,7 @@ func (d *Deque) Arena() *arena.Arena[node] { return d.ar }
 // PopRight implements Figure 11.
 func (d *Deque) PopRight() (uint64, spec.Result) {
 	srL := &d.node(d.sr).l
+	bo := d.backoff.Start()
 	for {
 		oldL := srL.Load()   // line 3: oldL = SR->L
 		ln := d.follow(oldL) // oldL.ptr
@@ -197,6 +225,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 				return v, spec.Okay // line 18
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -212,7 +241,9 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false) // line 4: newL.deleted = false
 	n := d.node(idx)
+	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	srL := &d.node(d.sr).l
+	bo := d.backoff.Start()
 	for {
 		oldL := srL.Load()        // line 6
 		if tagptr.Deleted(oldL) { // line 7
@@ -231,6 +262,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 		if d.prov.DCAS(srL, &d.follow(oldL).r, oldL, oldLR, nw, nw) {
 			return spec.Okay // line 18
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -279,6 +311,7 @@ func (d *Deque) deleteRight() {
 // PopLeft implements Figure 32 (mirror of Figure 11).
 func (d *Deque) PopLeft() (uint64, spec.Result) {
 	slR := &d.node(d.sl).r
+	bo := d.backoff.Start()
 	for {
 		oldR := slR.Load()
 		rn := d.follow(oldR)
@@ -303,6 +336,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 				return v, spec.Okay
 			}
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 
@@ -317,7 +351,9 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	n := d.node(idx)
+	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	slR := &d.node(d.sl).r
+	bo := d.backoff.Start()
 	for {
 		oldR := slR.Load()
 		if tagptr.Deleted(oldR) {
@@ -331,6 +367,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 		if d.prov.DCAS(slR, &d.follow(oldR).l, oldR, oldRL, nw, nw) {
 			return spec.Okay
 		}
+		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
 

@@ -1,0 +1,135 @@
+package dcas
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// This file provides the contention-management engine shared by the
+// spinlock slow path and the deque algorithms' DCAS-retry loops: bounded
+// exponential backoff with jitter.
+//
+// The paper's machine model treats a failed DCAS as free to retry; on real
+// cache-coherent hardware (and on the software emulation) an immediate
+// retry re-contends the very lines that just caused the failure.  The
+// standard remedy from the practical non-blocking literature (Sundell &
+// Tsigas's single-word-CAS deques, the ABP work-stealing line) is for each
+// processor to wait a randomized, exponentially growing, bounded interval
+// after a failed primitive before retrying.
+
+// BackoffPolicy configures the backoff behaviour.  A policy is immutable
+// after creation and may be shared by any number of goroutines; each
+// operation derives its own Backoff cursor from it with Start.
+//
+// A nil *BackoffPolicy is valid everywhere one is accepted and means
+// "no backoff": Start returns a cursor whose Wait is a no-op.
+type BackoffPolicy struct {
+	// MinSpins is the initial spin bound (iterations of a pause loop).
+	MinSpins uint32
+	// MaxSpins caps the exponentially growing spin bound.  Once the bound
+	// exceeds MaxSpins — or if MaxSpins is 0, from the first Wait — the
+	// waiter yields the processor (runtime.Gosched) instead of spinning.
+	// MaxSpins = 0 is the right setting for GOMAXPROCS=1, where spinning
+	// burns the time slice the lock holder or DCAS winner needs.
+	MaxSpins uint32
+	// Stats, when non-nil, accumulates backoff activity (BackoffSpins,
+	// BackoffYields) for the benchmark harness.
+	Stats *Stats
+}
+
+// DefaultBackoff returns the recommended policy for the current schedule:
+// spin briefly then yield on a multi-P schedule, yield immediately when
+// GOMAXPROCS is 1.
+func DefaultBackoff() *BackoffPolicy {
+	p := &BackoffPolicy{MinSpins: 8, MaxSpins: 1 << 9}
+	if runtime.GOMAXPROCS(0) == 1 {
+		p.MaxSpins = 0
+	}
+	return p
+}
+
+// backoffSeed perturbs each cursor's jitter stream so concurrent
+// goroutines do not back off in lockstep (which would make them re-collide
+// on retry — the exact pathology jitter exists to break).
+var backoffSeed atomic.Uint64
+
+// Backoff is one operation's backoff cursor: the current bound and jitter
+// state.  It lives on the operation's stack, so the backoff is
+// per-goroutine by construction, as the contention-management literature
+// prescribes.  The zero value (or one started from a nil policy) never
+// waits.
+type Backoff struct {
+	pol *BackoffPolicy
+	cur uint32 // current spin bound; doubles per Wait up to pol.MaxSpins
+	rng uint64 // xorshift64 jitter state, never zero once started
+}
+
+// Start derives a fresh cursor.  It is valid on a nil policy.  Start does
+// no atomic work: deque operations derive a cursor unconditionally, and the
+// jitter stream is only seeded (one shared-counter increment) on the first
+// Wait that actually spins.
+func (p *BackoffPolicy) Start() Backoff {
+	if p == nil {
+		return Backoff{}
+	}
+	return Backoff{pol: p, cur: p.MinSpins}
+}
+
+// nextRand steps the xorshift64 jitter generator, seeding it on first use.
+func (b *Backoff) nextRand() uint64 {
+	x := b.rng
+	if x == 0 {
+		x = backoffSeed.Add(0x9e3779b97f4a7c15) // golden-ratio increments
+		x ^= x << 13
+		x ^= x >> 7
+		if x == 0 {
+			x = 1
+		}
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	b.rng = x
+	return x
+}
+
+// Wait blocks the caller for the cursor's current backoff interval and
+// advances the bound: a jittered spin of [cur/2, cur] pause iterations
+// while the bound is within MaxSpins, a scheduler yield beyond it.  On a
+// cursor with no policy it returns immediately.
+func (b *Backoff) Wait() {
+	p := b.pol
+	if p == nil {
+		return
+	}
+	if n := b.cur; n > 0 && n <= p.MaxSpins {
+		spins := n/2 + uint32(b.nextRand())%(n-n/2+1) // jitter: [n/2, n]
+		for i := uint32(0); i < spins; i++ {
+			cpuRelax()
+		}
+		b.cur = n * 2
+		if p.Stats != nil {
+			p.Stats.BackoffSpins.Add(uint64(spins))
+		}
+		return
+	}
+	runtime.Gosched()
+	if p.Stats != nil {
+		p.Stats.BackoffYields.Add(1)
+	}
+}
+
+// Reset returns the cursor to its initial bound.  Called after a
+// successful operation so the next contention episode starts cheap.
+func (b *Backoff) Reset() {
+	if b.pol != nil {
+		b.cur = b.pol.MinSpins
+	}
+}
+
+// cpuRelax is one iteration of the pause loop.  Go exposes no PAUSE/YIELD
+// intrinsic; an empty no-inline call is a few cycles of pipeline work the
+// compiler cannot eliminate, which is all the spin loop needs.
+//
+//go:noinline
+func cpuRelax() {}

@@ -1,0 +1,68 @@
+package dcas
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBitLockBitCollision drives DCAS transfers over locations whose
+// ordering tokens are 64 apart, forcing both locations of each pair — and
+// the pairs of both goroutines — onto the same mask bit.  Collisions must
+// coarsen the lock, never break mutual exclusion.
+func TestBitLockBitCollision(t *testing.T) {
+	locs := make([]Loc, 129)
+	ptrs := make([]*Loc, len(locs))
+	for i := range locs {
+		ptrs[i] = &locs[i]
+	}
+	AssignIDs(ptrs...)
+	// Pick two pairs whose four tokens are congruent mod 64.
+	a1, b1 := &locs[0], &locs[64]
+	a2, b2 := &locs[128], &locs[0]
+	if bitOf(a1) != bitOf(b1) || bitOf(a1) != bitOf(a2) {
+		t.Skip("token assignment did not produce colliding bits")
+	}
+	_ = b2
+
+	p := new(BitLock)
+	const (
+		workers = 4
+		rounds  = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for {
+					av, bv := a1.Load(), b1.Load()
+					if p.DCAS(a1, b1, av, bv, av+1, bv+2) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if a1.Load() != workers*rounds || b1.Load() != 2*workers*rounds {
+		t.Fatalf("got (%d,%d), want (%d,%d)",
+			a1.Load(), b1.Load(), workers*rounds, 2*workers*rounds)
+	}
+}
+
+// TestBitLockReleasesAllBits checks that the mask returns to fully clear
+// after operations complete, including failed ones.
+func TestBitLockReleasesAllBits(t *testing.T) {
+	p := new(BitLock)
+	var a, b Loc
+	a.Init(1)
+	b.Init(2)
+	p.DCAS(&a, &b, 1, 2, 3, 4)     // success
+	p.DCAS(&a, &b, 1, 2, 9, 9)     // failure
+	p.DCASView(&a, &b, 3, 4, 5, 6) // success
+	p.DCASView(&a, &b, 0, 0, 9, 9) // failure
+	if m := p.mask.Load(); m != 0 {
+		t.Fatalf("mask = %#x after quiescence, want 0", m)
+	}
+}

@@ -8,11 +8,17 @@
 // software emulation".  No shipping hardware provides DCAS, so this package
 // supplies blocking software emulations behind the Provider interface:
 //
-//   - TwoLock: a fine-grained emulation that locks only the two addressed
-//     locations (deadlock-free via a lock/try-lock protocol with a rescue
-//     mutex).  Operations on disjoint location pairs proceed in parallel,
-//     which preserves the paper's central claim that the two deque ends can
-//     be accessed concurrently.
+//   - TwoLock: the default fine-grained emulation.  It locks only the two
+//     addressed locations using per-location word-sized TATAS spinlocks
+//     (deadlock-free via a fixed lock order).  Operations on disjoint
+//     location pairs proceed in parallel, which preserves the paper's
+//     central claim that the two deque ends can be accessed concurrently,
+//     and the critical section — two loads and at most two stores — is
+//     short enough that spinning beats parking by a wide margin.
+//   - StripedMutex: the same two-location discipline over a fixed table of
+//     sync.Mutex stripes.  This reproduces the futex-parking contention
+//     behaviour the emulation had before the spinlock rebuild and is kept
+//     as the measurement baseline for that change (see BENCH_PR1.json).
 //   - GlobalLock: a single mutex per provider instance.  All DCAS
 //     operations serialize; used as an ablation baseline.
 //
@@ -43,29 +49,60 @@ import (
 //
 // Loc corresponds to a memory word L in the paper's machine model
 // (Section 2): Read_i(L), Write_i(L, v) and DCAS_i(L1, L2, ...).
+//
+// Layout: the value word leads so that the hot load path dereferences the
+// Loc's own address; the lock word and ordering token follow.  A Loc is
+// 24 bytes — deliberately unpadded, because aggregates embed many of them
+// (array cells, list nodes) and choose their own spacing; see PaddedLoc
+// for the padded form.
 type Loc struct {
-	mu sync.Mutex
-	// id is a process-wide unique lock-ordering token, assigned lazily on
-	// the location's first DCAS so that the zero value needs no
-	// initialization.  Go provides no portable, GC-stable address order,
-	// so an explicit total order is maintained instead.
-	id atomic.Uint64
 	v  atomic.Uint64
+	lk spinLock
+	// id is a process-wide unique lock-ordering token; 0 means "not yet
+	// assigned".  Go provides no portable, GC-stable address order, so an
+	// explicit total order over locations is maintained instead.  Deque
+	// constructors assign tokens eagerly with AssignIDs, so on the DCAS
+	// hot path lockID is a single atomic load plus an untaken branch; the
+	// lazy assignment below exists only for zero-value Locs that were
+	// never registered (and runs once per location ever — arena-recycled
+	// nodes keep their token across incarnations).
+	id atomic.Uint64
 }
 
 // locIDs hands out lock-ordering tokens; 0 means "not yet assigned".
 var locIDs atomic.Uint64
 
-// lockID returns the location's ordering token, assigning one on first use.
+// lockID returns the location's ordering token.  The steady-state path is
+// the single load; assignment is pushed out of line.
 func (l *Loc) lockID() uint64 {
-	if id := l.id.Load(); id != 0 {
-		return id
+	id := l.id.Load()
+	if id == 0 {
+		id = l.assignID()
 	}
+	return id
+}
+
+// assignID gives the location a token on first use.
+//
+//go:noinline
+func (l *Loc) assignID() uint64 {
 	id := locIDs.Add(1)
 	if l.id.CompareAndSwap(0, id) {
 		return id
 	}
 	return l.id.Load()
+}
+
+// AssignIDs eagerly assigns lock-ordering tokens to the given locations.
+// Constructors call it on every location they create (end counters, array
+// cells, sentinels) so that token assignment — a contended global counter
+// plus a CAS — never runs inside an operation's DCAS.  Idempotent.
+func AssignIDs(locs ...*Loc) {
+	for _, l := range locs {
+		if l.id.Load() == 0 {
+			l.assignID()
+		}
+	}
 }
 
 // Load atomically reads the location (Read_i(L) in the paper's model).
@@ -75,9 +112,9 @@ func (l *Loc) Load() uint64 { return l.v.Load() }
 // model).  It acquires the location's lock so that it linearizes with any
 // in-flight DCAS touching the same location.
 func (l *Loc) Store(v uint64) {
-	l.mu.Lock()
+	l.lk.Lock()
 	l.v.Store(v)
-	l.mu.Unlock()
+	l.lk.Unlock()
 }
 
 // Init writes the location without acquiring its lock.  It must only be
@@ -85,17 +122,29 @@ func (l *Loc) Store(v uint64) {
 // initializing a freshly allocated node that no other thread can reach).
 func (l *Loc) Init(v uint64) { l.v.Store(v) }
 
+// RawCAS is a single-instruction compare-and-swap of the value word,
+// bypassing the per-location lock.  It is linearizable only against
+// providers that never take the per-location locks — in practice EndLock,
+// whose three-step protocol the array deque inlines at its hot call sites
+// (the call overhead is a measurable fraction of a three-instruction
+// DCAS).  Under any lock-taking provider it would race with a held lock;
+// do not mix.
+func (l *Loc) RawCAS(old, new uint64) bool { return l.v.CompareAndSwap(old, new) }
+
+// RawStore is the raw store matching RawCAS, with the same restriction.
+func (l *Loc) RawStore(v uint64) { l.v.Store(v) }
+
 // CAS atomically compares the location with old and, if equal, stores new.
 // It acquires the location's lock so that it linearizes with DCAS
 // operations on the same location.  (Baselines that never mix CAS with
 // DCAS, such as the ABP deque, use raw sync/atomic instead.)
 func (l *Loc) CAS(old, new uint64) bool {
-	l.mu.Lock()
+	l.lk.Lock()
 	ok := l.v.Load() == old
 	if ok {
 		l.v.Store(new)
 	}
-	l.mu.Unlock()
+	l.lk.Unlock()
 	return ok
 }
 
@@ -118,13 +167,12 @@ type Provider interface {
 // TwoLock is the default DCAS emulation.  It locks exactly the two
 // addressed locations, so DCAS operations on disjoint pairs of locations
 // run concurrently.  Deadlock between two overlapping DCAS operations is
-// avoided by acquiring the locks in a fixed total order given by each
-// location's lazily-assigned ordering token; both acquisitions block, so
-// waiting goroutines park instead of spinning and the lock holder is never
-// starved of CPU.
+// avoided by acquiring the spinlocks in the fixed total order given by
+// each location's ordering token.  Waiters spin with bounded exponential
+// backoff and degrade to scheduler yields, so the lock holder is never
+// starved of CPU even on a single-P schedule.
 //
-// The zero value is ready to use.  A TwoLock value must not be copied
-// after first use.
+// The zero value is ready to use.
 type TwoLock struct{}
 
 // lockPair acquires the locks of both locations in ID order.  On return
@@ -133,8 +181,8 @@ func (p *TwoLock) lockPair(a1, a2 *Loc) {
 	if a1.lockID() > a2.lockID() {
 		a1, a2 = a2, a1
 	}
-	a1.mu.Lock()
-	a2.mu.Lock()
+	a1.lk.Lock()
+	a2.lk.Lock()
 }
 
 // DCAS implements the weak form of Figure 1.
@@ -148,8 +196,8 @@ func (p *TwoLock) DCAS(a1, a2 *Loc, o1, o2, n1, n2 uint64) bool {
 		a1.v.Store(n1)
 		a2.v.Store(n2)
 	}
-	a2.mu.Unlock()
-	a1.mu.Unlock()
+	a2.lk.Unlock()
+	a1.lk.Unlock()
 	return ok
 }
 
@@ -166,8 +214,94 @@ func (p *TwoLock) DCASView(a1, a2 *Loc, o1, o2, n1, n2 uint64) (v1, v2 uint64, o
 		a1.v.Store(n1)
 		a2.v.Store(n2)
 	}
-	a2.mu.Unlock()
-	a1.mu.Unlock()
+	a2.lk.Unlock()
+	a1.lk.Unlock()
+	return v1, v2, ok
+}
+
+// mutexStripes is the size of a StripedMutex's lock table (power of two).
+const mutexStripes = 1024
+
+// StripedMutex emulates DCAS with the two-location locking discipline of
+// TwoLock but over a fixed table of sync.Mutex stripes selected by the
+// locations' ordering tokens.  Under contention its waiters park in the
+// runtime's semaphore (futex) layer exactly as the pre-spinlock emulation
+// did, so it is retained as the mutex baseline for the substrate
+// measurements: comparing TwoLock to StripedMutex isolates what replacing
+// parking locks with contention-managed spinlocks buys.
+//
+// Two locations that map to the same stripe share one mutex (correct —
+// the DCAS is then a single critical section); distinct stripes are locked
+// in index order, so the emulation is deadlock-free.
+//
+// Like GlobalLock, StripedMutex does not acquire the per-location locks
+// used by Loc.Store and Loc.CAS, so mixing those on the same locations is
+// not linearizable; the deque algorithms driven by the benchmarks never
+// Store or CAS a shared location after construction.
+//
+// The zero value is ready to use.  A StripedMutex must not be copied
+// after first use.
+type StripedMutex struct {
+	mus [mutexStripes]sync.Mutex
+}
+
+// stripePair returns the stripes guarding the two locations, lowest
+// first; m2 is nil when both map to one stripe.
+func (p *StripedMutex) stripePair(a1, a2 *Loc) (m1, m2 *sync.Mutex) {
+	i1 := a1.lockID() & (mutexStripes - 1)
+	i2 := a2.lockID() & (mutexStripes - 1)
+	if i1 == i2 {
+		return &p.mus[i1], nil
+	}
+	if i1 > i2 {
+		i1, i2 = i2, i1
+	}
+	return &p.mus[i1], &p.mus[i2]
+}
+
+// DCAS implements the weak form of Figure 1 under the stripe locks.
+func (p *StripedMutex) DCAS(a1, a2 *Loc, o1, o2, n1, n2 uint64) bool {
+	if a1 == a2 {
+		panic("dcas: DCAS requires two distinct locations")
+	}
+	m1, m2 := p.stripePair(a1, a2)
+	m1.Lock()
+	if m2 != nil {
+		m2.Lock()
+	}
+	ok := a1.v.Load() == o1 && a2.v.Load() == o2
+	if ok {
+		a1.v.Store(n1)
+		a2.v.Store(n2)
+	}
+	if m2 != nil {
+		m2.Unlock()
+	}
+	m1.Unlock()
+	return ok
+}
+
+// DCASView implements the strong form of Figure 1 under the stripe locks.
+func (p *StripedMutex) DCASView(a1, a2 *Loc, o1, o2, n1, n2 uint64) (v1, v2 uint64, ok bool) {
+	if a1 == a2 {
+		panic("dcas: DCASView requires two distinct locations")
+	}
+	m1, m2 := p.stripePair(a1, a2)
+	m1.Lock()
+	if m2 != nil {
+		m2.Lock()
+	}
+	v1 = a1.v.Load()
+	v2 = a2.v.Load()
+	ok = v1 == o1 && v2 == o2
+	if ok {
+		a1.v.Store(n1)
+		a2.v.Store(n2)
+	}
+	if m2 != nil {
+		m2.Unlock()
+	}
+	m1.Unlock()
 	return v1, v2, ok
 }
 
@@ -227,5 +361,6 @@ func Default() Provider { return new(TwoLock) }
 // Compile-time interface checks.
 var (
 	_ Provider = (*TwoLock)(nil)
+	_ Provider = (*StripedMutex)(nil)
 	_ Provider = (*GlobalLock)(nil)
 )

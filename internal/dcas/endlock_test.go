@@ -1,0 +1,180 @@
+package dcas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// EndLock is deliberately absent from the generic providers() matrix: those
+// tests present pairs in both argument orders and use arbitrary 64-bit
+// values on the first location, both outside EndLock's anchored-pair
+// contract.  The tests here exercise the same properties within it.
+
+func TestEndLockSemantics(t *testing.T) {
+	p := new(EndLock)
+	var a, b Loc
+	a.Init(10)
+	b.Init(20)
+
+	if !p.DCAS(&a, &b, 10, 20, 11, 21) {
+		t.Fatal("matching DCAS failed")
+	}
+	if a.Load() != 11 || b.Load() != 21 {
+		t.Fatalf("after success: a=%d b=%d, want 11 21", a.Load(), b.Load())
+	}
+	if p.DCAS(&a, &b, 99, 21, 0, 0) {
+		t.Fatal("DCAS with anchor mismatch succeeded")
+	}
+	if p.DCAS(&a, &b, 11, 99, 0, 0) {
+		t.Fatal("DCAS with second mismatch succeeded")
+	}
+	if a.Load() != 11 || b.Load() != 21 {
+		t.Fatalf("failed DCAS modified memory: a=%d b=%d", a.Load(), b.Load())
+	}
+
+	// Confirming DCAS (new == old), the boundary-detection form.
+	if !p.DCAS(&a, &b, 11, 21, 11, 21) {
+		t.Fatal("confirming DCAS failed")
+	}
+
+	v1, v2, ok := p.DCASView(&a, &b, 11, 21, 12, 22)
+	if !ok || v1 != 11 || v2 != 21 {
+		t.Fatalf("success view: ok=%v v1=%d v2=%d", ok, v1, v2)
+	}
+	v1, v2, ok = p.DCASView(&a, &b, 12, 99, 0, 0)
+	if ok || v1 != 12 || v2 != 22 {
+		t.Fatalf("failure view under mark: ok=%v v1=%d v2=%d, want false 12 22", ok, v1, v2)
+	}
+}
+
+func TestEndLockPanics(t *testing.T) {
+	p := new(EndLock)
+	var a, b Loc
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("aliased pair", func() { p.DCAS(&a, &a, 0, 0, 1, 1) })
+	mustPanic("aliased pair (view)", func() { p.DCASView(&a, &a, 0, 0, 1, 1) })
+	mustPanic("marked o1", func() { p.DCAS(&a, &b, EndLockBit, 0, 1, 1) })
+	mustPanic("marked n1", func() { p.DCASView(&a, &b, 0, 0, EndLockBit|1, 1) })
+}
+
+// TestEndLockEquivalentForms property-checks that the weak and strong forms
+// make identical decisions and updates, over the contract's value domain
+// (anchor words never use EndLockBit).
+func TestEndLockEquivalentForms(t *testing.T) {
+	p := new(EndLock)
+	f := func(init1, init2, o1, o2, n1, n2 uint64) bool {
+		init1 &^= EndLockBit
+		o1 &^= EndLockBit
+		n1 &^= EndLockBit
+		var a1, b1, a2, b2 Loc
+		a1.Init(init1)
+		b1.Init(init2)
+		a2.Init(init1)
+		b2.Init(init2)
+
+		okWeak := p.DCAS(&a1, &b1, o1, o2, n1, n2)
+		v1, v2, okStrong := p.DCASView(&a2, &b2, o1, o2, n1, n2)
+		if okWeak != okStrong {
+			return false
+		}
+		if v1 != init1 || v2 != init2 {
+			return false // no concurrency: view must be the pre-state
+		}
+		return a1.Load() == a2.Load() && b1.Load() == b2.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndLockSameAnchorContended hammers one anchored pair from many
+// goroutines; the anchor arbitration must make the pair's updates atomic
+// (the sum of the two cells is invariant).
+func TestEndLockSameAnchorContended(t *testing.T) {
+	p := new(EndLock)
+	const (
+		workers = 8
+		moves   = 20000
+	)
+	var a, b Loc
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < moves; i++ {
+				for {
+					av, bv := a.Load()&^EndLockBit, b.Load()
+					if p.DCAS(&a, &b, av, bv, av+1, bv+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Load() != workers*moves || b.Load() != workers*moves {
+		t.Fatalf("got (%d,%d), want (%d,%d)", a.Load(), b.Load(),
+			workers*moves, workers*moves)
+	}
+}
+
+// TestEndLockSharedSecondLocation reproduces the near-empty deque race:
+// two distinct anchors (the two ends) pair with one shared second location
+// (the last cell).  Per round the cell is reset non-null and both sides
+// race to claim it; exactly one DCAS per round may win, and the loser's
+// strong-form view (taken under its own mark) must show the cell already
+// taken.
+func TestEndLockSharedSecondLocation(t *testing.T) {
+	p := new(EndLock)
+	const rounds = 20000
+	var left, right, cell Loc
+	var wins [2]int
+	var ready, done sync.WaitGroup
+	start := make(chan int)
+
+	claim := func(id int, anchor *Loc) {
+		defer done.Done()
+		for round := range start {
+			av := anchor.Load() &^ EndLockBit
+			v1, v2, ok := p.DCASView(anchor, &cell, av, uint64(round), av+1, 0)
+			if ok {
+				wins[id]++
+			} else if v1 == av && v2 != 0 {
+				// The view was taken under our mark, so it is atomic; it
+				// must show the cell already claimed by the winner.
+				t.Errorf("round %d: loser's view shows the cell unclaimed", round)
+			}
+			ready.Done()
+		}
+	}
+	done.Add(2)
+	go claim(0, &left)
+	go claim(1, &right)
+
+	for round := 1; round <= rounds; round++ {
+		cell.Init(uint64(round))
+		ready.Add(2)
+		start <- round
+		start <- round
+		ready.Wait()
+		if cell.Load() != 0 {
+			t.Fatalf("round %d: cell not claimed", round)
+		}
+	}
+	close(start)
+	done.Wait()
+
+	if wins[0]+wins[1] != rounds {
+		t.Fatalf("wins %d+%d != rounds %d", wins[0], wins[1], rounds)
+	}
+}

@@ -1,0 +1,54 @@
+package dcas
+
+import "unsafe"
+
+// Cache-line geometry for the contention-engineered layouts.
+//
+// The deque algorithms keep opposite-end operations disjoint at the level
+// of memory *words*; hardware coherence operates on *lines*.  Two disjoint
+// hot words on one line still ping-pong between caches ("false sharing"),
+// silently serializing operations the algorithm proved independent.  The
+// constants and types here let the data structures place hot words on
+// lines of their own.
+const (
+	// CacheLineBytes is the coherence granule on every platform this
+	// repository targets (amd64, arm64).
+	CacheLineBytes = 64
+	// FalseSharingRange is the distance two hot words must keep to never
+	// interfere: two full lines, because (a) adjacent-line hardware
+	// prefetchers pair 64-byte lines into 128-byte sectors, and (b) Go
+	// gives no 64-byte alignment guarantee, so a single line of padding
+	// between two words in a misaligned aggregate can still leave them
+	// straddling one shared line.  With ≥128 bytes of separation the
+	// leading words of two blocks can never meet in a line regardless of
+	// the aggregate's base alignment.
+	FalseSharingRange = 128
+)
+
+// CacheLinePad is an inert spacer.  Embed one (as a blank field) between
+// two hot struct fields to push them at least FalseSharingRange apart:
+//
+//	type ends struct {
+//		l dcas.Loc
+//		_ dcas.CacheLinePad
+//		r dcas.Loc
+//	}
+type CacheLinePad struct {
+	_ [FalseSharingRange]byte
+}
+
+// PaddedLoc is a Loc occupying an integral number of FalseSharingRange
+// blocks, so that neighbouring elements of a []PaddedLoc never share a
+// cache line.  Used by the array deque's padded-cell mode; everything on
+// Loc promotes through the embedding.
+type PaddedLoc struct {
+	Loc
+	_ [FalseSharingRange - unsafe.Sizeof(Loc{})%FalseSharingRange]byte
+}
+
+// CacheLineOf returns the cache-line number of an address: two pointers
+// with different CacheLineOf values cannot false-share.  Intended for
+// layout regression tests.
+func CacheLineOf(p unsafe.Pointer) uintptr {
+	return uintptr(p) / CacheLineBytes
+}

@@ -1,0 +1,75 @@
+package dcas
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinLock is a word-sized test-and-test-and-set (TATAS) lock.  It
+// replaces sync.Mutex as the per-location lock of the DCAS emulation: a
+// futex-parking mutex is the wrong primitive for critical sections of a
+// few nanoseconds, because the first preemption inside one builds a convoy
+// of parked goroutines and every subsequent release then pays a wake-up.
+//
+// The fast path is a single CAS.  The slow path spins reading the lock
+// word (so contending processors hit their local cache copy instead of
+// hammering the bus with CAS attempts — the "test-and-test-and-set" part)
+// under the package's bounded exponential backoff, and degrades to
+// runtime.Gosched so that on a single-P schedule the lock holder is always
+// able to run; a spinning waiter can never starve it.
+//
+// The zero value is an unlocked lock.
+type spinLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning (with backoff and yields) until it is
+// available.
+func (s *spinLock) Lock() {
+	if s.state.CompareAndSwap(0, 1) {
+		return
+	}
+	s.lockSlow()
+}
+
+// lockSlow is the contended path, kept out of Lock so the fast path stays
+// inlinable.
+//
+//go:noinline
+func (s *spinLock) lockSlow() {
+	bo := lockBackoff.Start()
+	for {
+		// Test loop: wait for the word to read unlocked before attempting
+		// another CAS.
+		for s.state.Load() != 0 {
+			bo.Wait()
+		}
+		if s.state.CompareAndSwap(0, 1) {
+			return
+		}
+		bo.Wait()
+	}
+}
+
+// TryLock acquires the lock if it is immediately available.
+func (s *spinLock) TryLock() bool {
+	return s.state.Load() == 0 && s.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock.  The atomic store publishes (release-orders)
+// every write made inside the critical section.
+func (s *spinLock) Unlock() {
+	s.state.Store(0)
+}
+
+// lockBackoff is the backoff policy for the lock slow path.  It is
+// initialized once at startup: on a multi-P schedule waiters spin briefly
+// before yielding; with GOMAXPROCS=1 spinning can never observe a release
+// (the holder is not running), so waiters yield immediately.
+var lockBackoff = func() *BackoffPolicy {
+	p := &BackoffPolicy{MinSpins: 16, MaxSpins: 1 << 10}
+	if runtime.GOMAXPROCS(0) == 1 {
+		p.MaxSpins = 0
+	}
+	return p
+}()

@@ -16,6 +16,12 @@ type Stats struct {
 	Attempts atomic.Uint64
 	// Failures counts invocations whose comparison failed.
 	Failures atomic.Uint64
+	// BackoffSpins counts pause-loop iterations executed by the
+	// algorithm-level backoff (BackoffPolicy with this Stats attached).
+	BackoffSpins atomic.Uint64
+	// BackoffYields counts scheduler yields executed by the
+	// algorithm-level backoff once its spin bound is exhausted.
+	BackoffYields atomic.Uint64
 }
 
 // Successes reports Attempts minus Failures at the instant of the call.
@@ -25,6 +31,8 @@ func (s *Stats) Successes() uint64 { return s.Attempts.Load() - s.Failures.Load(
 func (s *Stats) Reset() {
 	s.Attempts.Store(0)
 	s.Failures.Store(0)
+	s.BackoffSpins.Store(0)
+	s.BackoffYields.Store(0)
 }
 
 // Instrumented wraps a Provider so that every DCAS is counted in st.

@@ -97,6 +97,87 @@ func TestListDequeLinearizable(t *testing.T) {
 	}
 }
 
+// TestEngineeredSubstrateLinearizable stress-checks the contention-
+// engineered configurations: the bit-table DCAS emulation, padded cells,
+// and retry backoff, alone and combined.  Backoff stretches the window
+// between a failed attempt and its retry, and BitLock coarsens the lock
+// space to 64 bits, so these schedules interleave differently from the
+// defaults the other tests cover.
+func TestEngineeredSubstrateLinearizable(t *testing.T) {
+	bo := &dcas.BackoffPolicy{MinSpins: 2, MaxSpins: 64}
+	arrayCases := map[string][]arraydeque.Option{
+		"backoff": {arraydeque.WithBackoff(bo)},
+		"bitlock": {arraydeque.WithProvider(new(dcas.BitLock))},
+		"bitlock-padded-backoff": {
+			arraydeque.WithProvider(new(dcas.BitLock)),
+			arraydeque.WithPaddedCells(true),
+			arraydeque.WithBackoff(bo),
+		},
+		"endlock": {arraydeque.WithProvider(new(dcas.EndLock))},
+		"endlock-backoff": {
+			arraydeque.WithProvider(new(dcas.EndLock)),
+			arraydeque.WithBackoff(bo),
+		},
+	}
+	for name, opts := range arrayCases {
+		t.Run("array-"+name, func(t *testing.T) {
+			d := arraydeque.New(3, opts...)
+			if _, err := Run(d, Config{
+				Threads:      3,
+				OpsPerThread: 4,
+				Windows:      150,
+				Capacity:     3,
+				Items:        d.Items,
+				Seed:         11,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	listCases := map[string]struct {
+		d     Deque
+		items func() ([]uint64, error)
+	}{}
+	{
+		d := listdeque.New(listdeque.WithProvider(new(dcas.BitLock)),
+			listdeque.WithBackoff(bo))
+		listCases["bit-bitlock-backoff"] = struct {
+			d     Deque
+			items func() ([]uint64, error)
+		}{d, d.Items}
+	}
+	{
+		d := listdeque.NewDummy(listdeque.WithProvider(new(dcas.BitLock)),
+			listdeque.WithBackoff(bo))
+		listCases["dummy-bitlock-backoff"] = struct {
+			d     Deque
+			items func() ([]uint64, error)
+		}{d, d.Items}
+	}
+	{
+		// LFRC keeps the per-location provider; only backoff applies.
+		d := listdeque.NewLFRC(listdeque.WithBackoff(bo))
+		listCases["lfrc-backoff"] = struct {
+			d     Deque
+			items func() ([]uint64, error)
+		}{d, d.Items}
+	}
+	for name, tgt := range listCases {
+		t.Run("list-"+name, func(t *testing.T) {
+			if _, err := Run(tgt.d, Config{
+				Threads:      3,
+				OpsPerThread: 4,
+				Windows:      150,
+				Capacity:     spec.Unbounded,
+				Items:        tgt.items,
+				Seed:         13,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestPopHeavyAndPushHeavyMixes exercises boundary-dominated schedules.
 func TestPopHeavyAndPushHeavyMixes(t *testing.T) {
 	for _, bias := range []int{20, 80} {

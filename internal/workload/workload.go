@@ -98,7 +98,11 @@ func RunMix(d Deque, cfg MixConfig) (MixResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c := &results[w]
+			// Counters live in locals for the duration of the loop: a write
+			// into the shared results slice on every operation would both
+			// cost a store on the measured path and false-share counter
+			// cache lines between workers.
+			var c counts
 			base := uint64(w+1) << 32
 			for i, op := range progs[w] {
 				switch op {
@@ -128,6 +132,7 @@ func RunMix(d Deque, cfg MixConfig) (MixResult, error) {
 					}
 				}
 			}
+			results[w] = c
 		}(w)
 	}
 	wg.Wait()

@@ -1,0 +1,24 @@
+# Developer entry points mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build lint test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# lint = go vet + the repository's own proof-discipline analyzers
+# (atomicmix, lockpath, linpoint, padlayout; see DESIGN.md §7).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dequevet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+check: build lint test race

@@ -7,11 +7,15 @@
 // Usage:
 //
 //	dequemodel [-algo array|list|both] [-threads 2|3] [-solo]
+//
+// Exit status: 0 when every obligation holds, 1 when the checker finds a
+// violation, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,11 +23,41 @@ import (
 	"dcasdeque/internal/verify/model"
 )
 
-var (
-	algoFlag    = flag.String("algo", "both", "algorithm to check: array, list, both")
-	threadsFlag = flag.Int("threads", 2, "concurrent single-op threads per scenario (2 or 3)")
-	soloFlag    = flag.Bool("solo", true, "also check solo termination (the non-blocking property)")
-)
+// explore is the model-checker entry point; a variable so tests can
+// substitute a stub and exercise the violation exit path without
+// enumerating a real state space.
+var explore = model.Explore
+
+// config is the parsed command line.
+type config struct {
+	algo    string
+	threads int
+	solo    bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("dequemodel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := config{}
+	fs.StringVar(&cfg.algo, "algo", "both", "algorithm to check: array, list, both")
+	fs.IntVar(&cfg.threads, "threads", 2, "concurrent single-op threads per scenario (2 or 3)")
+	fs.BoolVar(&cfg.solo, "solo", true, "also check solo termination (the non-blocking property)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() != 0 {
+		return cfg, fmt.Errorf("dequemodel: unexpected arguments %q", fs.Args())
+	}
+	if cfg.threads < 2 || cfg.threads > 3 {
+		return cfg, fmt.Errorf("dequemodel: -threads must be 2 or 3")
+	}
+	switch cfg.algo {
+	case "array", "list", "both":
+	default:
+		return cfg, fmt.Errorf("dequemodel: -algo must be array, list or both")
+	}
+	return cfg, nil
+}
 
 func allOps(base uint64) []model.OpSpec {
 	return []model.OpSpec{
@@ -54,25 +88,32 @@ func progSets(n int) [][][]model.OpSpec {
 }
 
 func main() {
-	flag.Parse()
-	if *threadsFlag < 2 || *threadsFlag > 3 {
-		fmt.Fprintln(os.Stderr, "dequemodel: -threads must be 2 or 3")
-		os.Exit(2)
-	}
-	opts := model.Options{CheckSolo: *soloFlag}
-	ok := true
-	if *algoFlag == "array" || *algoFlag == "both" {
-		ok = runArray(opts) && ok
-	}
-	if *algoFlag == "list" || *algoFlag == "both" {
-		ok = runList(opts) && ok
-	}
-	if !ok {
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func runArray(opts model.Options) bool {
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(stderr, err)
+		}
+		return 2
+	}
+	opts := model.Options{CheckSolo: cfg.solo}
+	ok := true
+	if cfg.algo == "array" || cfg.algo == "both" {
+		ok = runArray(cfg, opts, stdout, stderr) && ok
+	}
+	if cfg.algo == "list" || cfg.algo == "both" {
+		ok = runList(cfg, opts, stdout, stderr) && ok
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func runArray(cfg config, opts model.Options, stdout, stderr io.Writer) bool {
 	t := metrics.NewTable("capacity", "fill", "scenarios", "states", "transitions", "linearizations", "violations")
 	allOK := true
 	for _, n := range []int{1, 2, 3} {
@@ -82,31 +123,31 @@ func runArray(opts model.Options) bool {
 				initial = append(initial, uint64(100+i))
 			}
 			var states, trans, lins, scenarios, bad int
-			for _, progs := range progSets(*threadsFlag) {
+			for _, progs := range progSets(cfg.threads) {
 				scenarios++
-				rep, v := model.Explore(model.NewArraySys(n, initial, progs), opts)
+				rep, v := explore(model.NewArraySys(n, initial, progs), opts)
 				states += rep.States
 				trans += rep.Transitions
 				lins += rep.Linearized
 				if v != nil {
 					bad++
-					fmt.Fprintf(os.Stderr, "array n=%d fill=%d: %v\n", n, fill, v)
+					fmt.Fprintf(stderr, "array n=%d fill=%d: %v\n", n, fill, v)
 					allOK = false
 				}
 			}
 			t.AddRow(n, fill, scenarios, states, trans, lins, bad)
 		}
 	}
-	fmt.Println("== array-based algorithm (Theorem 3.1) ==")
-	fmt.Print(t.String())
-	fmt.Println()
-	reportScenario("Figure 6 (steal of the last item)",
+	fmt.Fprintln(stdout, "== array-based algorithm (Theorem 3.1) ==")
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintln(stdout)
+	reportScenario(stdout, "Figure 6 (steal of the last item)",
 		model.NewArraySys(3, []uint64{7}, [][]model.OpSpec{{{Kind: model.PopLeft}}, {{Kind: model.PopRight}}}),
 		opts, "pop-DCAS ok", "empty (steal)")
 	return allOK
 }
 
-func runList(opts model.Options) bool {
+func runList(cfg config, opts model.Options, stdout, stderr io.Writer) bool {
 	type start struct {
 		name   string
 		items  []uint64
@@ -126,24 +167,24 @@ func runList(opts model.Options) bool {
 	allOK := true
 	for _, st := range starts {
 		var states, trans, lins, scenarios, bad int
-		for _, progs := range progSets(*threadsFlag) {
+		for _, progs := range progSets(cfg.threads) {
 			scenarios++
-			rep, v := model.Explore(model.NewListSys(st.items, st.ld, st.rd, progs), opts)
+			rep, v := explore(model.NewListSys(st.items, st.ld, st.rd, progs), opts)
 			states += rep.States
 			trans += rep.Transitions
 			lins += rep.Linearized
 			if v != nil {
 				bad++
-				fmt.Fprintf(os.Stderr, "list start=%s: %v\n", st.name, v)
+				fmt.Fprintf(stderr, "list start=%s: %v\n", st.name, v)
 				allOK = false
 			}
 		}
 		t.AddRow(st.name, scenarios, states, trans, lins, bad)
 	}
-	fmt.Println("== linked-list algorithm (Theorem 4.1) ==")
-	fmt.Print(t.String())
-	fmt.Println()
-	reportScenario("Figure 16 (two-sided delete contention)",
+	fmt.Fprintln(stdout, "== linked-list algorithm (Theorem 4.1) ==")
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintln(stdout)
+	reportScenario(stdout, "Figure 16 (two-sided delete contention)",
 		model.NewListSys(nil, true, true, [][]model.OpSpec{{{Kind: model.PopLeft}}, {{Kind: model.PopRight}}}),
 		opts, "deleteRight: two-null ok", "deleteLeft: two-null ok")
 	return allOK
@@ -151,14 +192,14 @@ func runList(opts model.Options) bool {
 
 // reportScenario explores one figure scenario and reports whether the
 // named outcomes were both observed.
-func reportScenario(title string, sys model.Sys, opts model.Options, want ...string) {
-	rep, v := model.Explore(sys, opts)
-	fmt.Printf("-- %s --\n", title)
+func reportScenario(stdout io.Writer, title string, sys model.Sys, opts model.Options, want ...string) {
+	rep, v := explore(sys, opts)
+	fmt.Fprintf(stdout, "-- %s --\n", title)
 	if v != nil {
-		fmt.Printf("  VIOLATION: %v\n", v)
+		fmt.Fprintf(stdout, "  VIOLATION: %v\n", v)
 		return
 	}
-	fmt.Printf("  states=%d transitions=%d terminals=%d\n", rep.States, rep.Transitions, rep.Terminals)
+	fmt.Fprintf(stdout, "  states=%d transitions=%d terminals=%d\n", rep.States, rep.Transitions, rep.Terminals)
 	for _, w := range want {
 		seen := 0
 		for label, cnt := range rep.Events {
@@ -166,7 +207,7 @@ func reportScenario(title string, sys model.Sys, opts model.Options, want ...str
 				seen += cnt
 			}
 		}
-		fmt.Printf("  outcome %-32q observed in %d transitions\n", w, seen)
+		fmt.Fprintf(stdout, "  outcome %-32q observed in %d transitions\n", w, seen)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 }

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir and returns
+// its root.  files maps a relative path to Go source.
+func writeModule(t *testing.T, module string, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module " + module + "\n\ngo 1.23\n"
+	for rel, src := range files {
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// The seeded sources below each violate exactly one analyzer's discipline,
+// mirroring the acceptance scenarios: a plain read of an atomically
+// written field, an acquire with a lock-leaking return path, a duplicate
+// linearization-point annotation, and two contended fields on one line.
+
+const atomicMixSrc = `package p
+
+import "sync/atomic"
+
+type counter struct {
+	ops uint64
+}
+
+func (c *counter) bump() { atomic.AddUint64(&c.ops, 1) }
+
+func (c *counter) peek() uint64 { return c.ops } // plain read, no lock
+`
+
+const lockLeakSrc = `package p
+
+import "sync/atomic"
+
+type spinLock struct{ state atomic.Uint32 }
+
+func (l *spinLock) Lock()   { for !l.state.CompareAndSwap(0, 1) {} }
+func (l *spinLock) Unlock() { l.state.Store(0) }
+
+type box struct {
+	lk spinLock
+	n  uint64
+}
+
+func (b *box) leak(take bool) uint64 {
+	b.lk.Lock()
+	if take {
+		return b.n // leaves b.lk held
+	}
+	b.lk.Unlock()
+	return 0
+}
+`
+
+// linpointSrc is placed at the repo's listdeque package path (the scratch
+// module is named dcasdeque), so the real Section 5 obligation table
+// applies: Deque.PushRight must carry exactly one annotation, and the
+// duplicate below violates it.
+const linpointSrc = `package listdeque
+
+import "sync/atomic"
+
+type Deque struct{ w atomic.Uint64 }
+
+func (d *Deque) PushRight(v uint64) bool {
+	if d.w.CompareAndSwap(0, v) { // linearization point: splice
+		return true
+	}
+	return d.w.CompareAndSwap(v, 0) // linearization point: duplicate
+}
+`
+
+const padSrc = `package p
+
+type ends struct {
+	//dequevet:contended left end
+	l uint64
+	//dequevet:contended right end
+	r uint64
+}
+`
+
+const cleanSrc = `package p
+
+import "sync/atomic"
+
+type counter struct{ n atomic.Uint64 }
+
+func (c *counter) bump() { c.n.Add(1) }
+
+func (c *counter) peek() uint64 { return c.n.Load() }
+`
+
+func runIn(t *testing.T, dir string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSeededViolationsFail(t *testing.T) {
+	cases := []struct {
+		name, module, path, src, analyzer string
+	}{
+		{"atomicmix", "scratch", "p.go", atomicMixSrc, "atomicmix"},
+		{"lockpath", "scratch", "p.go", lockLeakSrc, "lockpath"},
+		{"linpoint", "dcasdeque", "internal/core/listdeque/p.go", linpointSrc, "linpoint"},
+		{"padlayout", "scratch", "p.go", padSrc, "padlayout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeModule(t, tc.module, map[string]string{tc.path: tc.src})
+			code, stdout, stderr := runIn(t, dir)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+			}
+			if !strings.Contains(stdout, "["+tc.analyzer+"]") {
+				t.Errorf("findings missing [%s]:\n%s", tc.analyzer, stdout)
+			}
+		})
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, "scratch", map[string]string{"p.go": cleanSrc})
+	code, stdout, stderr := runIn(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean module produced findings:\n%s", stdout)
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit = %d, want 2", code)
+	}
+	dir := t.TempDir() // no go.mod: go list fails
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("no module: exit = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}

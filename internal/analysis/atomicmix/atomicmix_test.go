@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/atomicmix"
+	"dcasdeque/internal/analysis/framework/atest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	atest.Run(t, "testdata", atomicmix.Analyzer, "a")
+}
+
+func TestAtomicMixClean(t *testing.T) {
+	atest.RunClean(t, "testdata", atomicmix.Analyzer, "clean")
+}

@@ -1,0 +1,78 @@
+// Fixture with deliberate mixed atomic/plain accesses: every violation
+// line carries a want expectation, every escape hatch demonstrates one of
+// the acknowledged forms.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+type counter struct {
+	ops   uint64 // atomic via function-style calls below
+	mu    sync.Mutex
+	guard uint64 // atomic, but also read under c.mu
+	n     atomic.Uint64
+	//dequevet:benign-race approximate snapshot, declared benign for all accesses
+	approx uint64
+}
+
+var total uint64 // package-level atomic target
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.ops, 1)
+	atomic.AddUint64(&c.guard, 1)
+	atomic.AddUint64(&c.approx, 1)
+	c.n.Add(1)
+	atomic.AddUint64(&total, 1)
+}
+
+func (c *counter) bad() uint64 {
+	return c.ops // want `plain access of ops`
+}
+
+func (c *counter) badWrite() {
+	c.ops = 0 // want `plain access of ops`
+}
+
+func (c *counter) badIncrement() {
+	c.ops++ // want `plain access of ops`
+}
+
+func badGlobal() uint64 {
+	return total // want `plain access of total`
+}
+
+func badCopy(c *counter) atomic.Uint64 {
+	return c.n // want `plain use of atomic-typed n`
+}
+
+func (c *counter) lockedRead() uint64 {
+	c.mu.Lock()
+	v := c.guard // inside an acknowledged lock window: no diagnostic
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) annotatedRead() uint64 {
+	return c.ops // dequevet:benign-race stats line in a report, staleness tolerated
+}
+
+func (c *counter) annotatedAbove() uint64 {
+	//dequevet:benign-race single-threaded test inspection
+	v := c.ops
+	return v
+}
+
+func (c *counter) declSuppressed() uint64 {
+	return c.approx // field-level benign-race: no diagnostic
+}
+
+func addressInert(c *counter) *uint64 {
+	return &c.ops // address-of without a dereference: no diagnostic
+}
+
+func compileTime(c *counter) uintptr {
+	return unsafe.Offsetof(c.ops) // no memory access: no diagnostic
+}

@@ -1,0 +1,26 @@
+// Clean fixture: a type that follows the discipline exactly — every
+// shared word is touched only through sync/atomic.  The analyzer must
+// stay silent here.
+package clean
+
+import "sync/atomic"
+
+type gauge struct {
+	level atomic.Int64
+	hits  uint64
+	cold  int // never accessed atomically; plain use is fine
+}
+
+func (g *gauge) up() {
+	g.level.Add(1)
+	atomic.AddUint64(&g.hits, 1)
+}
+
+func (g *gauge) read() (int64, uint64) {
+	return g.level.Load(), atomic.LoadUint64(&g.hits)
+}
+
+func (g *gauge) plainCold() int {
+	g.cold++
+	return g.cold
+}

@@ -1,0 +1,94 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives indexes the `//dequevet:<name> [args]` control comments of a
+// package.  A directive governs the source line it sits on when it is an
+// end-of-line comment, and the line immediately below when it stands
+// alone — the same attachment rule as //go: directives plus the
+// end-of-line form, which suits per-access annotations:
+//
+//	x := s.n // dequevet:benign-race approximate stats read
+//
+//	//dequevet:benign-race approximate stats read
+//	x := s.n
+type Directives struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> directive names present on that line.
+	byLine map[string]map[int][]string
+}
+
+// NewDirectives scans the files' comments.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := directiveName(c.Text)
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					d.byLine[pos.Filename] = lines
+				}
+				// The directive covers its own line and, for the
+				// standalone form, the next line.
+				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line+1] = append(lines[pos.Line+1], name)
+			}
+		}
+	}
+	return d
+}
+
+// directiveName extracts "benign-race" from "//dequevet:benign-race why",
+// accepting an optional space after the slashes.
+func directiveName(comment string) string {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "dequevet:") {
+		return ""
+	}
+	text = strings.TrimPrefix(text, "dequevet:")
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		text = text[:i]
+	}
+	return text
+}
+
+// Covers reports whether a directive of the given name governs pos.
+func (d *Directives) Covers(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	for _, n := range d.byLine[p.Filename][p.Line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldHas reports whether the field declaration carries the directive in
+// its doc or trailing comment, e.g.
+//
+//	//dequevet:contended
+//	l dcas.Loc
+func FieldHas(field *ast.Field, name string) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if directiveName(c.Text) == name {
+				return true
+			}
+		}
+	}
+	return false
+}

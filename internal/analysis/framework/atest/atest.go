@@ -1,0 +1,187 @@
+// Package atest is the fixture harness for the dequevet analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a fixture is a
+// package directory under testdata/src/<name> whose sources carry
+//
+//	// want `regexp`
+//
+// comments on the lines where a diagnostic is expected.  Run loads the
+// fixture, applies the analyzer, and fails the test for every diagnostic
+// without a matching want and every want without a matching diagnostic.
+//
+// Fixture packages are ordinary Go packages (they must type-check, and
+// may import the standard library or this module's packages), but they
+// live under testdata so the go tool never builds them — which is the
+// point: fixtures contain deliberate discipline violations.
+package atest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"dcasdeque/internal/analysis/framework"
+)
+
+// wantRe extracts the quoted expectations from a want comment.  Both
+// backquoted and double-quoted forms are accepted, as in analysistest.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies a to the fixture package at dir/src/<pkg> and checks its
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	fixture := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(fixture)
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(fixture, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("atest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("atest: no Go files in %s", fixture)
+	}
+
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	info := framework.NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    sizes,
+	}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("atest: fixture %s does not type-check: %v", pkg, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+		Report: func(d framework.Diagnostic) {
+			d.Category = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("atest: %s failed on %s: %v", a.Name, pkg, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on (file, line) whose regexp
+// matches msg, and reports whether one was found.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment in the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// A want expectation either is the whole comment or follows
+				// an inner "//" separator, so a fixture line can carry both
+				// an annotation under test and its expectation.
+				switch {
+				case strings.HasPrefix(text, "want "):
+					text = text[len("want "):]
+				default:
+					i := strings.Index(text, "// want ")
+					if i < 0 {
+						continue
+					}
+					text = text[i+len("// want "):]
+				}
+				pos := fset.Position(c.Pos())
+				specs := wantRe.FindAllStringSubmatch(text, -1)
+				if len(specs) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", filepath.Base(pos.Filename), pos.Line, c.Text)
+				}
+				for _, m := range specs {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", filepath.Base(pos.Filename), pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// RunClean asserts the analyzer reports nothing on the fixture; it is
+// Run specialized to fixtures that must stay diagnostic-free, with a
+// clearer failure message than a wants mismatch.
+func RunClean(t *testing.T, dir string, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	Run(t, dir, a, pkg)
+}

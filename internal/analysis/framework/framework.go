@@ -1,0 +1,74 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver surface, shaped so the dequevet
+// analyzers (and their tests) read exactly like standard go/analysis
+// code.  This repository is deliberately stdlib-only — the module has no
+// requirements to pin and builds in a hermetic environment — so instead
+// of importing x/tools the few hundred lines of driver it needs live
+// here: an Analyzer/Pass/Diagnostic vocabulary (this file), a package
+// loader built on `go list` plus go/types with the source importer
+// (load.go), and an analysistest-style fixture harness (atest).
+//
+// Only the features the dequevet suite uses are implemented: no Facts, no
+// Requires graph, no SuggestedFixes.  If the module ever grows a real
+// x/tools dependency the analyzers port by changing one import path.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description shown by dequevet -list.
+	Doc string
+	// Run applies the analyzer to one package.  Diagnostics go through
+	// pass.Report; the result value is unused (kept for x/tools shape).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's worth of parsed and type-checked input to an
+// Analyzer, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+	Report     func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name, filled by the driver
+	Message  string
+}
+
+// WalkStack walks the ASTs in depth-first order, calling fn with each node
+// and the stack of its ancestors (innermost last, not including n itself).
+// Analyzers use it where x/tools code would use inspector.WithStack.
+func WalkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

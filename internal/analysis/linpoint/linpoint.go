@@ -1,0 +1,186 @@
+// Package linpoint implements the dequevet analyzer that cross-checks the
+// `// linearization point` annotations on the deque operations against a
+// machine-readable obligation table derived from Section 5 of the paper
+// ("DCAS-Based Concurrent Deques", Agesen et al., SPAA 2000).
+//
+// Section 5's proof obligations assign every outcome of every public
+// deque operation to exactly one commit instruction: the DCAS (or its
+// inlined CAS form) whose success makes the outcome take effect.  The
+// repository's convention is that each such site carries a comment whose
+// text begins "linearization point".  This analyzer enforces, per
+// function named in the table:
+//
+//   - the number of linearization-point annotations equals the table's
+//     count — a missing annotation (an undocumented commit) and a
+//     duplicate annotation (two claimed commits for one outcome set) are
+//     both rejected;
+//   - every annotation is attached to a statement performing a DCAS,
+//     DCASView, RawCAS, CAS, or CompareAndSwap — an annotation on a plain
+//     statement claims a linearization that cannot be one;
+//   - every function the table obligates actually exists — table drift is
+//     an error, not a silent skip.
+//
+// Annotations in functions the table does not mention (within an
+// obligated package) are also rejected: helper routines such as the list
+// deques' physical-deletion passes perform DCAS operations that are
+// intentionally *not* linearization points, and an annotation there would
+// misstate the proof structure.
+//
+// Packages absent from the table are ignored entirely.
+package linpoint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"dcasdeque/internal/analysis/framework"
+)
+
+// Obligation names one function of an obligated package and the exact
+// number of linearization-point annotations it must carry.
+type Obligation struct {
+	// Func identifies the function: "Recv.Method" for methods (pointer
+	// receivers spelled without the star), a bare name otherwise.
+	Func string
+	// Points is the exact required number of annotated commit sites.
+	Points int
+	// Paper cites the clause of the paper the obligation derives from.
+	// Documentation only.
+	Paper string
+}
+
+// commitNames are the call names that can carry a linearization point.
+var commitNames = map[string]bool{
+	"DCAS": true, "DCASView": true, "RawCAS": true, "CAS": true,
+}
+
+// annotation is the lower-cased prefix that makes a comment a
+// linearization-point annotation.
+const annotation = "linearization point"
+
+// NewAnalyzer builds a linpoint analyzer checking the given table,
+// keyed by package path.  The package-level Analyzer uses DefaultTable;
+// fixtures substitute their own.
+func NewAnalyzer(table map[string][]Obligation) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "linpoint",
+		Doc: "cross-check `// linearization point` annotations against the " +
+			"paper's Section 5 obligation table",
+		Run: func(pass *framework.Pass) (any, error) {
+			return run(pass, table)
+		},
+	}
+}
+
+// Analyzer is the linpoint analyzer over the repository's table.
+var Analyzer = NewAnalyzer(DefaultTable)
+
+func run(pass *framework.Pass, table map[string][]Obligation) (any, error) {
+	obligations := table[pass.Pkg.Path()]
+	if len(obligations) == 0 {
+		return nil, nil
+	}
+	want := map[string]Obligation{}
+	for _, ob := range obligations {
+		want[ob.Func] = ob
+	}
+
+	// Lines containing a commit-capable call, per file.
+	commitLines := map[*ast.File]map[int]bool{}
+	for _, f := range pass.Files {
+		lines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if commitNames[name] || strings.HasPrefix(name, "CompareAndSwap") {
+				lines[pass.Fset.Position(call.Pos()).Line] = true
+			}
+			return true
+		})
+		commitLines[f] = lines
+	}
+
+	seen := map[string]bool{}
+	for _, f := range pass.Files {
+		funcs := map[*ast.FuncDecl]int{}
+		var decls []*ast.FuncDecl
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+				funcs[fd] = 0
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, cmt := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(cmt.Text, "//"))
+				if !strings.HasPrefix(strings.ToLower(text), annotation) {
+					continue
+				}
+				line := pass.Fset.Position(cmt.Pos()).Line
+				if !commitLines[f][line] && !commitLines[f][line+1] {
+					pass.Reportf(cmt.Pos(), "linearization point annotation is not attached to a DCAS/CAS statement")
+				}
+				owner := enclosing(decls, cmt.Pos(), cmt.End())
+				if owner == nil {
+					pass.Reportf(cmt.Pos(), "linearization point annotation outside any function")
+					continue
+				}
+				funcs[owner]++
+			}
+		}
+		for _, fd := range decls {
+			key := funcKey(fd)
+			count := funcs[fd]
+			ob, obligated := want[key]
+			if !obligated {
+				if count > 0 {
+					pass.Reportf(fd.Name.Pos(), "%s carries %d linearization point annotation(s) but has no obligation in the Section 5 table", key, count)
+				}
+				continue
+			}
+			seen[key] = true
+			if count != ob.Points {
+				pass.Reportf(fd.Name.Pos(), "%s has %d linearization point annotation(s), obligation table requires exactly %d", key, count, ob.Points)
+			}
+		}
+	}
+	for _, ob := range obligations {
+		if !seen[ob.Func] {
+			pass.Reportf(pass.Files[0].Name.Pos(), "obligated function %s not found in package %s", ob.Func, pass.Pkg.Path())
+		}
+	}
+	return nil, nil
+}
+
+// enclosing returns the function declaration whose body brackets the span.
+func enclosing(decls []*ast.FuncDecl, pos, end token.Pos) *ast.FuncDecl {
+	for _, fd := range decls {
+		if fd.Pos() <= pos && end <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// funcKey identifies a declaration as the table spells it.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,29 @@
+package linpoint_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/framework/atest"
+	"dcasdeque/internal/analysis/linpoint"
+)
+
+// fixtureTable obligates the fixture packages the way DefaultTable
+// obligates the real deque packages.
+func fixtureTable(pkg string) map[string][]linpoint.Obligation {
+	return map[string][]linpoint.Obligation{
+		pkg: {
+			{Func: "Deque.Pop", Points: 2, Paper: "fixture"},
+			{Func: "Deque.Push", Points: 1, Paper: "fixture"},
+		},
+	}
+}
+
+func TestLinPoint(t *testing.T) {
+	table := fixtureTable("a")
+	table["a"] = append(table["a"], linpoint.Obligation{Func: "Deque.Gone", Points: 1, Paper: "fixture"})
+	atest.Run(t, "testdata", linpoint.NewAnalyzer(table), "a")
+}
+
+func TestLinPointClean(t *testing.T) {
+	atest.RunClean(t, "testdata", linpoint.NewAnalyzer(fixtureTable("clean")), "clean")
+}

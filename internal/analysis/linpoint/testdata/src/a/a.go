@@ -1,0 +1,44 @@
+// Fixture with deliberate linearization-annotation violations against the
+// test's obligation table:
+//
+//	Deque.Pop: 2 points, Deque.Push: 1 point, Deque.Gone: 1 point.
+package a // want `obligated function Deque\.Gone not found in package a`
+
+import "sync/atomic"
+
+type loc struct{ v atomic.Uint64 }
+
+func (l *loc) DCAS(o1, o2, n1, n2 uint64) bool { return l.v.CompareAndSwap(o1, n1) }
+
+type Deque struct{ end loc }
+
+// Pop is obligated to carry exactly 2 annotations but has 1.
+func (d *Deque) Pop() uint64 { // want `Deque\.Pop has 1 linearization point annotation\(s\), obligation table requires exactly 2`
+	if d.end.DCAS(1, 2, 0, 0) { // linearization point
+		return 1
+	}
+	if d.end.DCAS(3, 4, 0, 0) {
+		return 2
+	}
+	return 0
+}
+
+// Push carries a duplicate annotation: 2 where the table requires 1.
+func (d *Deque) Push(v uint64) bool { // want `Deque\.Push has 2 linearization point annotation\(s\), obligation table requires exactly 1`
+	if d.end.DCAS(v, v, v, v) { // linearization point
+		return true
+	}
+	// linearization point
+	return d.end.DCAS(v, v, v, v)
+}
+
+// helper has no obligation, so its annotation is stray.
+func (d *Deque) helper() { // want `Deque\.helper carries 1 linearization point annotation\(s\) but has no obligation`
+	d.end.DCAS(0, 0, 0, 0) // linearization point
+}
+
+// Unattached annotation: the comment sits on a plain statement.
+func (d *Deque) plain() uint64 { // want `Deque\.plain carries 1 linearization point annotation\(s\) but has no obligation`
+	v := uint64(7) // linearization point // want `linearization point annotation is not attached to a DCAS/CAS statement`
+	return v
+}

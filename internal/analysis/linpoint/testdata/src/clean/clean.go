@@ -1,0 +1,34 @@
+// Clean fixture: annotations match the test's obligation table exactly
+// (Deque.Pop: 2, Deque.Push: 1), the physical-deletion helper carries
+// none, and every annotation sits on a DCAS statement.  The analyzer must
+// stay silent here.
+package clean
+
+import "sync/atomic"
+
+type loc struct{ v atomic.Uint64 }
+
+func (l *loc) DCAS(o1, o2, n1, n2 uint64) bool { return l.v.CompareAndSwap(o1, n1) }
+
+type Deque struct{ end loc }
+
+func (d *Deque) Pop() uint64 {
+	if d.end.DCAS(1, 2, 0, 0) { // linearization point: last-node pop
+		return 1
+	}
+	if d.end.DCAS(3, 4, 0, 0) { // linearization point: interior pop
+		return 2
+	}
+	return 0
+}
+
+func (d *Deque) Push(v uint64) bool {
+	// linearization point: sentinel splice
+	return d.end.DCAS(v, v, v, v)
+}
+
+// delete performs a DCAS that is not a linearization point and therefore
+// carries no annotation.
+func (d *Deque) delete() {
+	d.end.DCAS(0, 0, 0, 0)
+}

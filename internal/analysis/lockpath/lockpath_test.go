@@ -1,0 +1,16 @@
+package lockpath_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/framework/atest"
+	"dcasdeque/internal/analysis/lockpath"
+)
+
+func TestLockPath(t *testing.T) {
+	atest.Run(t, "testdata", lockpath.Analyzer, "a")
+}
+
+func TestLockPathClean(t *testing.T) {
+	atest.RunClean(t, "testdata", lockpath.Analyzer, "clean")
+}

@@ -1,0 +1,159 @@
+// Package padlayout implements the dequevet analyzer that recomputes
+// struct layouts with types.Sizes and rejects contention-isolated fields
+// placed too close together — making the runtime layout assertions (the
+// unsafe.Offsetof tests pinning the array deque's end indices apart)
+// redundant at compile time.
+//
+// A field is declared contention-isolated with a field directive:
+//
+//	//dequevet:contended right end index, spun on by PopRight/PushRight
+//	r dcas.Loc
+//
+// For every pair of contended fields in one struct the analyzer checks,
+// using the target's actual field offsets and sizes:
+//
+//   - the two fields must not overlap a common 64-byte line (the
+//     coherence granule — sharing a line serializes the accesses the
+//     annotation promises are independent);
+//   - their offsets must differ by at least 128 bytes
+//     (dcas.FalseSharingRange): Go guarantees no 64-byte base alignment
+//     for heap objects, and adjacent-line prefetchers pair lines into
+//     128-byte sectors, so one line of separation is not enough — see
+//     the FalseSharingRange comment in internal/dcas/pad.go.
+//
+// The analyzer checks declared layout, so it catches the regression the
+// moment a field is inserted or a pad resized, on every GOARCH the
+// analysis runs for, without executing anything.
+package padlayout
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcasdeque/internal/analysis/framework"
+)
+
+// Geometry mirrored from internal/dcas/pad.go.  Restated here because the
+// analyzer must not import the package under analysis.
+const (
+	cacheLineBytes    = 64
+	falseSharingRange = 128
+)
+
+// Directive is the field annotation marking a contention-isolated field.
+const Directive = "contended"
+
+// Analyzer is the padlayout analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "padlayout",
+	Doc: "recompute struct layouts and reject //dequevet:contended fields that " +
+		"share a cache line or sit inside one false-sharing range",
+	Run: run,
+}
+
+// contendedField is one annotated field with its computed placement.
+type contendedField struct {
+	name   string
+	pos    ast.Node
+	offset int64
+	size   int64
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, ts, st)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkStruct(pass *framework.Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	if ts.TypeParams != nil {
+		// A generic struct has no concrete layout to compute; the
+		// contended discipline applies to instantiating declarations.
+		return
+	}
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	tstruct, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok || tstruct.NumFields() == 0 {
+		return
+	}
+	vars := make([]*types.Var, tstruct.NumFields())
+	for i := range vars {
+		vars[i] = tstruct.Field(i)
+	}
+	offsets := pass.TypesSizes.Offsetsof(vars)
+
+	// Walk the AST fields in declaration order, consuming type-checked
+	// field indices (one per declared name, one for an embedded or blank
+	// field group without names).
+	var contended []contendedField
+	idx := 0
+	for _, field := range st.Fields.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		isContended := fieldHasDirective(field)
+		for k := 0; k < n; k++ {
+			if idx >= len(vars) {
+				return // layout surprise; do not guess
+			}
+			if isContended {
+				contended = append(contended, contendedField{
+					name:   vars[idx].Name(),
+					pos:    field,
+					offset: offsets[idx],
+					size:   pass.TypesSizes.Sizeof(vars[idx].Type()),
+				})
+			}
+			idx++
+		}
+	}
+
+	for i := 0; i < len(contended); i++ {
+		for j := i + 1; j < len(contended); j++ {
+			a, b := contended[i], contended[j]
+			aFirst, aLast := a.offset/cacheLineBytes, lastLine(a)
+			bFirst, bLast := b.offset/cacheLineBytes, lastLine(b)
+			if aFirst <= bLast && bFirst <= aLast {
+				pass.Reportf(b.pos.Pos(),
+					"contended fields %s (offset %d) and %s (offset %d) of %s overlap a 64-byte cache line",
+					a.name, a.offset, b.name, b.offset, ts.Name.Name)
+				continue
+			}
+			if gap := b.offset - a.offset; gap < falseSharingRange && gap > -falseSharingRange {
+				pass.Reportf(b.pos.Pos(),
+					"contended fields %s (offset %d) and %s (offset %d) of %s are inside one %d-byte false-sharing range",
+					a.name, a.offset, b.name, b.offset, ts.Name.Name, falseSharingRange)
+			}
+		}
+	}
+}
+
+// lastLine is the cache-line index of a field's final byte.
+func lastLine(f contendedField) int64 {
+	if f.size == 0 {
+		return f.offset / cacheLineBytes
+	}
+	return (f.offset + f.size - 1) / cacheLineBytes
+}
+
+// fieldHasDirective reports whether the field's doc or trailing comment
+// carries //dequevet:contended.
+func fieldHasDirective(field *ast.Field) bool {
+	return framework.FieldHas(field, Directive)
+}

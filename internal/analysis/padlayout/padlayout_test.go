@@ -1,0 +1,16 @@
+package padlayout_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/framework/atest"
+	"dcasdeque/internal/analysis/padlayout"
+)
+
+func TestPadLayout(t *testing.T) {
+	atest.Run(t, "testdata", padlayout.Analyzer, "a")
+}
+
+func TestPadLayoutClean(t *testing.T) {
+	atest.RunClean(t, "testdata", padlayout.Analyzer, "clean")
+}

@@ -1,0 +1,23 @@
+// Fixture with deliberate layout violations: pairs of
+// //dequevet:contended fields placed closer than the discipline allows.
+package a
+
+type loc struct{ v uint64 }
+
+// badAdjacent places both contended end words on one cache line.
+type badAdjacent struct {
+	//dequevet:contended left end
+	l loc
+	//dequevet:contended right end
+	r loc // want `contended fields l \(offset 0\) and r \(offset 8\) of badAdjacent overlap a 64-byte cache line`
+}
+
+// badNear separates the ends by one line only: adjacent-line prefetch
+// (and an unaligned base) can still couple them.
+type badNear struct {
+	//dequevet:contended left end
+	l loc
+	_ [56]byte
+	//dequevet:contended right end
+	r loc // want `contended fields l \(offset 0\) and r \(offset 64\) of badNear are inside one 128-byte false-sharing range`
+}

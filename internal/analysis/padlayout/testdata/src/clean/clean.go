@@ -1,0 +1,25 @@
+// Clean fixture: contended fields kept a full false-sharing range apart,
+// plus structs the analyzer must ignore (one annotated field, none).
+// The analyzer must stay silent here.
+package clean
+
+type loc struct{ v uint64 }
+
+type good struct {
+	_ [128]byte
+	//dequevet:contended left end
+	l loc
+	_ [128]byte
+	r loc //dequevet:contended right end
+	_ [128]byte
+}
+
+type single struct {
+	//dequevet:contended only hot word
+	hot  loc
+	cold loc
+}
+
+type unannotated struct {
+	a, b loc
+}

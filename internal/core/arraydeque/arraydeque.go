@@ -71,8 +71,10 @@ type Deque struct {
 	strongDCAS   bool
 
 	_ dcas.CacheLinePad
+	//dequevet:contended left end index L, spun on by PopLeft/PushLeft
 	l dcas.Loc
 	_ dcas.CacheLinePad
+	//dequevet:contended right end index R, spun on by PopRight/PushRight
 	r dcas.Loc
 	_ dcas.CacheLinePad
 }
@@ -215,9 +217,9 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 				// that (lines 8-10).
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+					ok = d.el.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				} else {
-					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
 					return 0, spec.Empty
@@ -233,18 +235,18 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					// cell, commit); EndLock.DCASView is the authority on
 					// the protocol and handles the marked-anchor slow case.
 					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
-						if cell.RawCAS(oldS, Null) {
+						if cell.RawCAS(oldS, Null) { // linearization point: inlined EndLock commit
 							d.r.RawStore(newR)
 							return oldS, spec.Okay // line 16
 						}
 						v1, v2 = oldR, cell.Load() // view under the mark
 						d.r.RawStore(oldR)
 					} else {
-						v1, v2, ok = d.el.DCASView(&d.r, cell,
+						v1, v2, ok = d.el.DCASView(&d.r, cell, // linearization point: strong DCAS
 							oldR, oldS, newR, Null) // lines 14-15
 					}
 				} else {
-					v1, v2, ok = d.prov.DCASView(&d.r, cell,
+					v1, v2, ok = d.prov.DCASView(&d.r, cell, // linearization point: strong DCAS
 						oldR, oldS, newR, Null)
 				}
 				if ok {
@@ -259,9 +261,9 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 			} else {
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.r, cell, oldR, oldS, newR, Null)
+					ok = d.el.DCAS(&d.r, cell, oldR, oldS, newR, Null) // linearization point: weak DCAS commit
 				} else {
-					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, newR, Null)
+					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, newR, Null) // linearization point: weak DCAS commit
 				}
 				if ok {
 					return oldS, spec.Okay
@@ -289,9 +291,9 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 			if !d.recheckIndex || oldR == d.endLoad(&d.r) { // line 7
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+					ok = d.el.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				} else {
-					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS)
+					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
 					return spec.Full // line 10
@@ -305,18 +307,18 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 				if d.el != nil {
 					// Inlined EndLock fast path; see PopRight.
 					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
-						if cell.RawCAS(oldS, v) {
+						if cell.RawCAS(oldS, v) { // linearization point: inlined EndLock commit
 							d.r.RawStore(newR)
 							return spec.Okay // line 16
 						}
 						v1 = oldR // anchor pinned, so the cell was non-null
 						d.r.RawStore(oldR)
 					} else {
-						v1, _, ok = d.el.DCASView(&d.r, cell,
+						v1, _, ok = d.el.DCASView(&d.r, cell, // linearization point: strong DCAS
 							oldR, oldS, newR, v) // lines 14-15
 					}
 				} else {
-					v1, _, ok = d.prov.DCASView(&d.r, cell,
+					v1, _, ok = d.prov.DCASView(&d.r, cell, // linearization point: strong DCAS
 						oldR, oldS, newR, v)
 				}
 				if ok {
@@ -328,9 +330,9 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 			} else {
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.r, cell, oldR, Null, newR, v)
+					ok = d.el.DCAS(&d.r, cell, oldR, Null, newR, v) // linearization point: weak DCAS commit
 				} else {
-					ok = d.prov.DCAS(&d.r, cell, oldR, Null, newR, v)
+					ok = d.prov.DCAS(&d.r, cell, oldR, Null, newR, v) // linearization point: weak DCAS commit
 				}
 				if ok {
 					return spec.Okay
@@ -353,9 +355,9 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 			if !d.recheckIndex || oldL == d.endLoad(&d.l) { // line 7
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+					ok = d.el.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				} else {
-					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
 					return 0, spec.Empty
@@ -369,18 +371,18 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 				if d.el != nil {
 					// Inlined EndLock fast path; see PopRight.
 					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
-						if cell.RawCAS(oldS, Null) {
+						if cell.RawCAS(oldS, Null) { // linearization point: inlined EndLock commit
 							d.l.RawStore(newL)
 							return oldS, spec.Okay
 						}
 						v1, v2 = oldL, cell.Load()
 						d.l.RawStore(oldL)
 					} else {
-						v1, v2, ok = d.el.DCASView(&d.l, cell,
+						v1, v2, ok = d.el.DCASView(&d.l, cell, // linearization point: strong DCAS
 							oldL, oldS, newL, Null)
 					}
 				} else {
-					v1, v2, ok = d.prov.DCASView(&d.l, cell,
+					v1, v2, ok = d.prov.DCASView(&d.l, cell, // linearization point: strong DCAS
 						oldL, oldS, newL, Null)
 				}
 				if ok {
@@ -395,9 +397,9 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 			} else {
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.l, cell, oldL, oldS, newL, Null)
+					ok = d.el.DCAS(&d.l, cell, oldL, oldS, newL, Null) // linearization point: weak DCAS commit
 				} else {
-					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, newL, Null)
+					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, newL, Null) // linearization point: weak DCAS commit
 				}
 				if ok {
 					return oldS, spec.Okay
@@ -424,9 +426,9 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 			if !d.recheckIndex || oldL == d.endLoad(&d.l) { // line 7
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+					ok = d.el.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				} else {
-					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS)
+					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
 					return spec.Full
@@ -440,18 +442,18 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 				if d.el != nil {
 					// Inlined EndLock fast path; see PopRight.
 					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
-						if cell.RawCAS(oldS, v) {
+						if cell.RawCAS(oldS, v) { // linearization point: inlined EndLock commit
 							d.l.RawStore(newL)
 							return spec.Okay
 						}
 						v1 = oldL
 						d.l.RawStore(oldL)
 					} else {
-						v1, _, ok = d.el.DCASView(&d.l, cell,
+						v1, _, ok = d.el.DCASView(&d.l, cell, // linearization point: strong DCAS
 							oldL, oldS, newL, v)
 					}
 				} else {
-					v1, _, ok = d.prov.DCASView(&d.l, cell,
+					v1, _, ok = d.prov.DCASView(&d.l, cell, // linearization point: strong DCAS
 						oldL, oldS, newL, v)
 				}
 				if ok {
@@ -463,9 +465,9 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 			} else {
 				var ok bool
 				if d.el != nil {
-					ok = d.el.DCAS(&d.l, cell, oldL, Null, newL, v)
+					ok = d.el.DCAS(&d.l, cell, oldL, Null, newL, v) // linearization point: weak DCAS commit
 				} else {
-					ok = d.prov.DCAS(&d.l, cell, oldL, Null, newL, v)
+					ok = d.prov.DCAS(&d.l, cell, oldL, Null, newL, v) // linearization point: weak DCAS commit
 				}
 				if ok {
 					return spec.Okay

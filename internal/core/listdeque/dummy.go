@@ -133,16 +133,24 @@ func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 	for {
 		raw := srL.Load()
 		real, deleted := d.resolve(raw, true)
-		v := d.node(tagptr.MustIdx(real)).val.Load()
-		if v == SentL {
-			return 0, spec.Empty
+		ridx, ok := tagptr.Idx(real)
+		if !ok {
+			// Stale resolve: raw's dummy was recycled under us and caught
+			// mid-initialization.  SR->L has necessarily moved on (the
+			// dummy is freed only after the sentinel swings away), so the
+			// next load sees a current word.
+			continue
 		}
 		if deleted {
 			d.deleteRight()
 			continue
 		}
+		v := d.node(ridx).val.Load()
+		if v == SentL {
+			return 0, spec.Empty
+		}
 		if v == Null {
-			if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(real)).val, raw, v, raw, v) {
+			if d.prov.DCAS(srL, &d.node(ridx).val, raw, v, raw, v) { // linearization point: empty confirm
 				return 0, spec.Empty
 			}
 		} else {
@@ -155,7 +163,7 @@ func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 				d.deleteRight()
 				continue
 			}
-			if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(real)).val, raw, v, dw, Null) {
+			if d.prov.DCAS(srL, &d.node(ridx).val, raw, v, dw, Null) { // linearization point: logical deletion via dummy
 				return v, spec.Okay
 			}
 			d.ar.Free(didx) // never published
@@ -190,7 +198,7 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 		n.r.Init(d.srPtr)
 		n.l.Init(raw)
 		n.val.Init(v)
-		if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(raw)).r, raw, d.srPtr, nw, nw) {
+		if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(raw)).r, raw, d.srPtr, nw, nw) { // linearization point: splice
 			return spec.Okay
 		}
 		bo.Wait() // the attempt lost a race; back off before retrying
@@ -209,9 +217,18 @@ func (d *DummyDeque) deleteRight() {
 		if !deleted {
 			return
 		}
-		delIdx := tagptr.MustIdx(real)
+		delIdx, ok := tagptr.Idx(real)
+		if !ok {
+			continue // stale resolve through a recycled dummy; reload
+		}
 		oldLL := d.node(delIdx).l.Load()
-		lln := d.node(tagptr.MustIdx(oldLL))
+		llIdx, ok := tagptr.Idx(oldLL)
+		if !ok {
+			// delIdx was freed and recycled under us (so raw is stale and
+			// the DCAS below would fail anyway); reload.
+			continue
+		}
+		lln := d.node(llIdx)
 		if lln.val.Load() != Null {
 			oldLLR := lln.r.Load()
 			if tagptr.Ptr(real) == tagptr.Ptr(oldLLR) {
@@ -244,16 +261,20 @@ func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 	for {
 		raw := slR.Load()
 		real, deleted := d.resolve(raw, false)
-		v := d.node(tagptr.MustIdx(real)).val.Load()
-		if v == SentR {
-			return 0, spec.Empty
+		ridx, ok := tagptr.Idx(real)
+		if !ok {
+			continue // stale resolve through a recycled dummy; see PopRight
 		}
 		if deleted {
 			d.deleteLeft()
 			continue
 		}
+		v := d.node(ridx).val.Load()
+		if v == SentR {
+			return 0, spec.Empty
+		}
 		if v == Null {
-			if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(real)).val, raw, v, raw, v) {
+			if d.prov.DCAS(slR, &d.node(ridx).val, raw, v, raw, v) { // linearization point: empty confirm
 				return 0, spec.Empty
 			}
 		} else {
@@ -262,7 +283,7 @@ func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 				d.deleteLeft()
 				continue
 			}
-			if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(real)).val, raw, v, dw, Null) {
+			if d.prov.DCAS(slR, &d.node(ridx).val, raw, v, dw, Null) { // linearization point: logical deletion via dummy
 				return v, spec.Okay
 			}
 			d.ar.Free(didx)
@@ -297,7 +318,7 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 		n.l.Init(d.slPtr)
 		n.r.Init(raw)
 		n.val.Init(v)
-		if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(raw)).l, raw, d.slPtr, nw, nw) {
+		if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(raw)).l, raw, d.slPtr, nw, nw) { // linearization point: splice
 			return spec.Okay
 		}
 		bo.Wait() // the attempt lost a race; back off before retrying
@@ -314,9 +335,16 @@ func (d *DummyDeque) deleteLeft() {
 		if !deleted {
 			return
 		}
-		delIdx := tagptr.MustIdx(real)
+		delIdx, ok := tagptr.Idx(real)
+		if !ok {
+			continue // stale resolve through a recycled dummy; reload
+		}
 		oldRR := d.node(delIdx).r.Load()
-		rrn := d.node(tagptr.MustIdx(oldRR))
+		rrIdx, ok := tagptr.Idx(oldRR)
+		if !ok {
+			continue // delIdx recycled under us; see deleteRight
+		}
+		rrn := d.node(rrIdx)
 		if rrn.val.Load() != Null {
 			oldRRL := rrn.l.Load()
 			if tagptr.Ptr(real) == tagptr.Ptr(oldRRL) {

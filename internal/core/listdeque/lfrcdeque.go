@@ -187,7 +187,7 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 			continue
 		}
 		if v == Null {
-			ok := d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v)
+			ok := d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v) // linearization point: empty confirm
 			d.release(oldL)
 			if ok {
 				return 0, spec.Empty
@@ -196,7 +196,7 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 			// Marking flips only the deleted bit: SR->L references the
 			// same node before and after, so no count moves.
 			newL := tagptr.WithDeleted(oldL, true)
-			ok := d.prov.DCAS(srL, &ln.val, oldL, v, newL, Null)
+			ok := d.prov.DCAS(srL, &ln.val, oldL, v, newL, Null) // linearization point: logical deletion
 			d.release(oldL)
 			if ok {
 				return v, spec.Okay
@@ -217,7 +217,13 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 	}
 	n := d.node(idx)
 	dcas.AssignIDs(&n.l, &n.r, &n.val, &n.rc)
-	n.rc.Init(1) // our local reference
+	// Pre-charge the count for the two shared references (SR->L and the
+	// old neighbour's r link) the splice DCAS installs.  The node is
+	// private until that DCAS publishes it, so the early increment is
+	// invisible; charging after publication instead opens a window where a
+	// concurrent pop + physical delete releases both shared references and
+	// frees the node under us.
+	n.rc.Init(2)
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
@@ -232,14 +238,11 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 		n.l.Init(oldL) // the link takes over our local reference to oldL
 		n.val.Init(v)
 		lln := d.node(tagptr.MustIdx(oldL))
-		if d.prov.DCAS(srL, &lln.r, oldL, d.srPtr, nw, nw) {
-			// Ledger: the new node is now referenced by SR->L and by
-			// oldL's r link (+2); our New reference is surplus, but SR->L
-			// also dropped its reference to oldL (−1) while n.l holds our
-			// transferred load reference (net 0 for oldL).
-			d.addRef(nw) // +1 for the second shared link
-			// net for n: had 1 (local); +1 here = 2 = the two shared refs;
-			// our local ref is accounted as one of them (transferred).
+		if d.prov.DCAS(srL, &lln.r, oldL, d.srPtr, nw, nw) { // linearization point: splice
+			// Ledger: n's pre-charged count of 2 now matches its two
+			// shared references exactly.  SR->L dropped its reference to
+			// oldL (released below) while n.l holds our transferred load
+			// reference (net 0 for oldL).
 			d.release(oldL) // SR->L's dropped reference to oldL
 			return spec.Okay
 		}
@@ -343,14 +346,14 @@ func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 			continue
 		}
 		if v == Null {
-			ok := d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v)
+			ok := d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v) // linearization point: empty confirm
 			d.release(oldR)
 			if ok {
 				return 0, spec.Empty
 			}
 		} else {
 			newR := tagptr.WithDeleted(oldR, true)
-			ok := d.prov.DCAS(slR, &rn.val, oldR, v, newR, Null)
+			ok := d.prov.DCAS(slR, &rn.val, oldR, v, newR, Null) // linearization point: logical deletion
 			d.release(oldR)
 			if ok {
 				return v, spec.Okay
@@ -371,7 +374,7 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 	}
 	n := d.node(idx)
 	dcas.AssignIDs(&n.l, &n.r, &n.val, &n.rc)
-	n.rc.Init(1)
+	n.rc.Init(2) // pre-charged for the splice's two shared refs; see PushRight
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
@@ -386,8 +389,7 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 		n.r.Init(oldR)
 		n.val.Init(v)
 		rn := d.node(tagptr.MustIdx(oldR))
-		if d.prov.DCAS(slR, &rn.l, oldR, d.slPtr, nw, nw) {
-			d.addRef(nw)
+		if d.prov.DCAS(slR, &rn.l, oldR, d.slPtr, nw, nw) { // linearization point: splice
 			d.release(oldR)
 			return spec.Okay
 		}

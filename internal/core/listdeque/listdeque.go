@@ -211,14 +211,14 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 			// The right sentinel points (undeleted) at a node deleted by a
 			// popLeft: the deque is empty if this view is instantaneous
 			// (lines 9-11; third diagram of Figure 9).
-			if d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v) {
+			if d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v) { // linearization point: empty confirm (lines 9-11)
 				return 0, spec.Empty
 			}
 		} else {
 			// Logical deletion (lines 14-17, Figure 12): null the value
 			// and set the deleted bit in SR->L in one DCAS.
 			newL := tagptr.WithDeleted(oldL, true)
-			if d.prov.DCAS(srL, &ln.val, oldL, v, newL, Null) {
+			if d.prov.DCAS(srL, &ln.val, oldL, v, newL, Null) { // linearization point: logical deletion (lines 14-17)
 				if d.eagerDelete {
 					d.deleteRight() // footnote 6
 				}
@@ -259,7 +259,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 		// Splice in: SR->L and oldL.ptr->R both become the new node
 		// (lines 14-17, Figure 14).
 		oldLR := d.srPtr // lines 14-15: expected oldL.ptr->R = (SR, false)
-		if d.prov.DCAS(srL, &d.follow(oldL).r, oldL, oldLR, nw, nw) {
+		if d.prov.DCAS(srL, &d.follow(oldL).r, oldL, oldLR, nw, nw) { // linearization point: splice (lines 14-17)
 			return spec.Okay // line 18
 		}
 		bo.Wait() // the attempt lost a race; back off before retrying
@@ -324,12 +324,12 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 			continue
 		}
 		if v == Null {
-			if d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v) {
+			if d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v) { // linearization point: empty confirm (lines 9-11)
 				return 0, spec.Empty
 			}
 		} else {
 			newR := tagptr.WithDeleted(oldR, true)
-			if d.prov.DCAS(slR, &rn.val, oldR, v, newR, Null) {
+			if d.prov.DCAS(slR, &rn.val, oldR, v, newR, Null) { // linearization point: logical deletion (lines 14-17)
 				if d.eagerDelete {
 					d.deleteLeft()
 				}
@@ -364,7 +364,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 		n.r.Init(oldR)
 		n.val.Init(v)
 		oldRL := d.slPtr
-		if d.prov.DCAS(slR, &d.follow(oldR).l, oldR, oldRL, nw, nw) {
+		if d.prov.DCAS(slR, &d.follow(oldR).l, oldR, oldRL, nw, nw) { // linearization point: splice (lines 14-17)
 			return spec.Okay
 		}
 		bo.Wait() // the attempt lost a race; back off before retrying

@@ -177,6 +177,8 @@ type TwoLock struct{}
 
 // lockPair acquires the locks of both locations in ID order.  On return
 // both locks are held; the caller must release both.
+//
+//dequevet:lockpath-transfers a1.lk a2.lk
 func (p *TwoLock) lockPair(a1, a2 *Loc) {
 	if a1.lockID() > a2.lockID() {
 		a1, a2 = a2, a1

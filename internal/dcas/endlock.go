@@ -67,6 +67,8 @@ const EndLockBit uint64 = 1 << 63
 
 // mark pins a1 at o1, or reports a1's current logical value and false.
 // On true, a1 is marked and must be unmarked by storing its next value.
+//
+//dequevet:lockpath-transfers a1.v
 func (p *EndLock) mark(a1 *Loc, o1 uint64) (uint64, bool) {
 	if a1.v.CompareAndSwap(o1, o1|EndLockBit) {
 		return o1, true
@@ -74,6 +76,7 @@ func (p *EndLock) mark(a1 *Loc, o1 uint64) (uint64, bool) {
 	return p.markSlow(a1, o1)
 }
 
+//dequevet:lockpath-transfers a1.v
 //go:noinline
 func (p *EndLock) markSlow(a1 *Loc, o1 uint64) (uint64, bool) {
 	pol := p.Backoff

@@ -1,0 +1,124 @@
+// Command benchguard is the CI benchmark gate: it runs the same
+// microbenchmarks at the merge base and at HEAD and fails when HEAD is
+// slower beyond a threshold.  Its purpose in this repository is to hold
+// the disabled-telemetry contract — observability must cost a nil check,
+// which this guard prices at no more than -threshold percent on the
+// public push/pop path.
+//
+// Usage:
+//
+//	benchguard [-base origin/main] [-bench BenchmarkPublicAPI]
+//	           [-benchtime 0.3s] [-count 5] [-threshold 5]
+//
+// The base revision is materialized in a temporary git worktree, so the
+// working tree (including uncommitted changes) is never disturbed.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+var (
+	baseFlag      = flag.String("base", "origin/main", "revision to compare against (its merge-base with HEAD is used)")
+	benchFlag     = flag.String("bench", "BenchmarkPublicAPI", "benchmark regexp to run")
+	benchtimeFlag = flag.String("benchtime", "0.3s", "per-benchmark measurement time")
+	countFlag     = flag.Int("count", 5, "runs per benchmark (medians compared)")
+	thresholdFlag = flag.Float64("threshold", 5, "maximum allowed regression, percent")
+)
+
+// git runs a git command and returns its trimmed stdout.
+func git(args ...string) (string, error) {
+	var out, errb bytes.Buffer
+	cmd := exec.Command("git", args...)
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("git %s: %v: %s", strings.Join(args, " "), err, errb.String())
+	}
+	return strings.TrimSpace(out.String()), nil
+}
+
+// bench runs the configured benchmarks in dir and parses the samples.
+func bench(dir string) (map[string][]float64, error) {
+	var out bytes.Buffer
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *benchFlag, "-benchtime", *benchtimeFlag,
+		"-count", fmt.Sprint(*countFlag), ".")
+	cmd.Dir = dir
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchguard: go test in %s: %v", dir, err)
+	}
+	return parseBench(&out)
+}
+
+func run() int {
+	flag.Parse()
+	head, err := git("rev-parse", "HEAD")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	baseSHA, err := git("merge-base", *baseFlag, "HEAD")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if baseSHA == head {
+		fmt.Printf("benchguard: HEAD is the merge base (%s); nothing to compare\n", baseSHA[:12])
+		return 0
+	}
+
+	tmp, err := os.MkdirTemp("", "benchguard-base-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return 2
+	}
+	worktree := filepath.Join(tmp, "base")
+	if _, err := git("worktree", "add", "--detach", worktree, baseSHA); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if _, err := git("worktree", "remove", "--force", worktree); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.RemoveAll(tmp)
+	}()
+
+	fmt.Printf("benchguard: base %s vs HEAD %s, bench %s (%d × %s, threshold %.1f%%)\n",
+		baseSHA[:12], head[:12], *benchFlag, *countFlag, *benchtimeFlag, *thresholdFlag)
+	baseRes, err := bench(worktree)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	headRes, err := bench(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(baseRes) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: base produced no benchmark results")
+		return 2
+	}
+
+	lines, worst := compare(baseRes, headRes)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if worst > *thresholdFlag {
+		fmt.Printf("benchguard: FAIL — worst regression %.2f%% exceeds %.1f%%\n", worst, *thresholdFlag)
+		return 1
+	}
+	fmt.Printf("benchguard: ok — worst regression %.2f%% within %.1f%%\n", worst, *thresholdFlag)
+	return 0
+}
+
+func main() { os.Exit(run()) }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts ns/op samples from `go test -bench` output, keyed
+// by benchmark name with the trailing -GOMAXPROCS suffix stripped (so
+// runs compare across machines).  Repeated -count runs of one benchmark
+// accumulate as samples under the same key.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark result lines:  BenchmarkName-8  1234  56.7 ns/op  [...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchguard: bad ns/op %q in %q", fields[i], sc.Text())
+				}
+				ns, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = append(out[name], ns)
+	}
+	return out, sc.Err()
+}
+
+// median returns the middle sample (mean of the middle two for even
+// counts).  Medians of repeated -count runs resist the occasional
+// scheduler hiccup that a mean would absorb into the verdict.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare evaluates head against base and returns per-benchmark verdict
+// lines plus the worst regression percentage across benchmarks present
+// in both (benchmarks on one side only are reported but never judged —
+// a renamed benchmark must not pass silently as "no regression").
+func compare(base, head map[string][]float64) (lines []string, worst float64) {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		hs, ok := head[n]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%-60s base-only (%.1f ns/op)", n, median(base[n])))
+			continue
+		}
+		b, h := median(base[n]), median(hs)
+		pct := (h - b) / b * 100
+		if pct > worst {
+			worst = pct
+		}
+		lines = append(lines, fmt.Sprintf("%-60s %10.1f → %10.1f ns/op  %+6.2f%%", n, b, h, pct))
+	}
+	var extra []string
+	for n := range head {
+		if _, ok := base[n]; !ok {
+			extra = append(extra, fmt.Sprintf("%-60s head-only (%.1f ns/op)", n, median(head[n])))
+		}
+	}
+	sort.Strings(extra)
+	return append(lines, extra...), worst
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: dcasdeque
+cpu: Some CPU @ 2.40GHz
+BenchmarkPublicAPI/Array[int]-8         	 3507968	       342.4 ns/op
+BenchmarkPublicAPI/Array[int]-8         	 3600000	       338.0 ns/op
+BenchmarkPublicAPI/List[int]-8          	 2000000	       651.2 ns/op	16 B/op	       1 allocs/op
+BenchmarkPublicAPI/Mutex[int]-8         	 5000000	       241.0 ns/op
+BenchmarkWorkStealing/depth=16-8        	      50	  22000000 ns/op
+PASS
+ok  	dcasdeque	4.2s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkPublicAPI/Array[int]"]) != 2 {
+		t.Fatalf("Array samples = %v, want 2 entries", got["BenchmarkPublicAPI/Array[int]"])
+	}
+	if got["BenchmarkPublicAPI/Array[int]"][0] != 342.4 {
+		t.Fatalf("first Array sample = %v", got["BenchmarkPublicAPI/Array[int]"][0])
+	}
+	// The -8 GOMAXPROCS suffix must be stripped, including for names
+	// with extra metrics columns after ns/op.
+	if v := got["BenchmarkPublicAPI/List[int]"]; len(v) != 1 || v[0] != 651.2 {
+		t.Fatalf("List samples = %v", v)
+	}
+	if _, ok := got["BenchmarkPublicAPI/List[int]-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+}
+
+func TestParseBenchBadNumber(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX-8 100 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("no error for malformed ns/op")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string][]float64{
+		"A": {100, 102, 98},
+		"B": {200},
+		"C": {50}, // removed at head
+	}
+	head := map[string][]float64{
+		"A": {110, 112, 108}, // +10%
+		"B": {202},           // +1%
+		"D": {70},            // new at head
+	}
+	lines, worst := compare(base, head)
+	if worst < 9.9 || worst > 10.1 {
+		t.Fatalf("worst = %v, want ~10", worst)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"A", "B", "base-only", "head-only"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("report missing %q:\n%s", want, joined)
+		}
+	}
+	// A faster head must not produce a positive worst.
+	_, worst = compare(map[string][]float64{"A": {100}}, map[string][]float64{"A": {90}})
+	if worst != 0 {
+		t.Fatalf("improvement reported as regression: %v", worst)
+	}
+}

@@ -6,12 +6,27 @@
 //
 //	dequestress [-impl array|list|greenwald|mutex|all] [-seconds 10]
 //	            [-threads 3] [-ops 4] [-capacity 4] [-seed 1]
+//	            [-flight dump.flight] [-watch]
+//
+// Every run records its operations in a flight recorder.  When a window
+// fails the linearizability check, the recorder's retained windows are
+// dumped (to the -flight path, or stderr) and the process exits
+// non-zero — the dump is the post-mortem, replayable with
+// telemetry.Replay or by re-feeding it to this command's certify step.
+// On success with -flight set, the dump is written, parsed back, and
+// replayed through the checker as an end-to-end certification that the
+// recorded evidence itself linearizes.
+//
+// -watch prints a live per-end telemetry line per implementation while
+// it is being stressed (DCAS-core implementations only; the baselines
+// carry no telemetry).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"dcasdeque/internal/baseline/greenwald"
@@ -19,6 +34,7 @@ import (
 	"dcasdeque/internal/core/arraydeque"
 	"dcasdeque/internal/core/listdeque"
 	"dcasdeque/internal/spec"
+	"dcasdeque/internal/telemetry"
 	"dcasdeque/internal/verify/stress"
 )
 
@@ -29,6 +45,8 @@ var (
 	opsFlag     = flag.Int("ops", 4, "operations per worker per window")
 	capFlag     = flag.Int("capacity", 4, "bounded-deque capacity")
 	seedFlag    = flag.Uint64("seed", 1, "base RNG seed")
+	flightFlag  = flag.String("flight", "", "write the flight-recorder dump here and replay-certify it")
+	watchFlag   = flag.Bool("watch", false, "print a live telemetry dashboard while stressing")
 )
 
 type target struct {
@@ -36,23 +54,98 @@ type target struct {
 	d        stress.Deque
 	capacity int
 	items    func() ([]uint64, error)
+	sink     *telemetry.Sink
 }
 
 func targets() []target {
-	a := arraydeque.New(*capFlag)
-	l := listdeque.New()
-	ld := listdeque.NewDummy()
-	lr := listdeque.NewLFRC()
+	sa, sl, sld, slr := telemetry.NewSink(), telemetry.NewSink(), telemetry.NewSink(), telemetry.NewSink()
+	a := arraydeque.New(*capFlag, arraydeque.WithTelemetry(sa))
+	l := listdeque.New(listdeque.WithTelemetry(sl))
+	ld := listdeque.NewDummy(listdeque.WithTelemetry(sld))
+	lr := listdeque.NewLFRC(listdeque.WithTelemetry(slr))
 	g := greenwald.New(*capFlag, nil)
 	m := mutexdeque.New(*capFlag)
 	return []target{
-		{"array", a, *capFlag, a.Items},
-		{"list", l, spec.Unbounded, l.Items},
-		{"list-dummy", ld, spec.Unbounded, ld.Items},
-		{"list-lfrc", lr, spec.Unbounded, lr.Items},
-		{"greenwald", g, *capFlag, g.Items},
-		{"mutex", m, *capFlag, m.Items},
+		{"array", a, *capFlag, a.Items, sa},
+		{"list", l, spec.Unbounded, l.Items, sl},
+		{"list-dummy", ld, spec.Unbounded, ld.Items, sld},
+		{"list-lfrc", lr, spec.Unbounded, lr.Items, slr},
+		{"greenwald", g, *capFlag, g.Items, nil},
+		{"mutex", m, *capFlag, m.Items, nil},
 	}
+}
+
+// watchLine renders one dashboard line from a telemetry snapshot.
+func watchLine(name string, windows int64, sn telemetry.Snapshot) string {
+	return fmt.Sprintf("watch %-10s %7d windows | L push=%d pop=%d empty=%d retry=%d | R push=%d pop=%d empty=%d retry=%d",
+		name, windows,
+		sn.Left.Pushes, sn.Left.Pops, sn.Left.EmptyHits, sn.Left.Retries,
+		sn.Right.Pushes, sn.Right.Pops, sn.Right.EmptyHits, sn.Right.Retries)
+}
+
+// flightPath names the dump file for one implementation: the -flight
+// path itself when a single implementation is selected, path.<impl> when
+// stressing several.
+func flightPath(impl string) string {
+	if *implFlag != "all" {
+		return *flightFlag
+	}
+	return *flightFlag + "." + impl
+}
+
+// dumpRecorder writes the recorder's retained windows to path (or stderr
+// when path is empty) and reports where they went.
+func dumpRecorder(fr *telemetry.FlightRecorder, path string) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "flight recorder dump follows:")
+		if err := fr.Dump(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := fr.Dump(f); err != nil {
+		fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight recorder dumped to %s\n", path)
+}
+
+// certify writes the dump, parses it back and replays it through the
+// linearizability checker — the evidence chain the package doc promises.
+func certify(fr *telemetry.FlightRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rd, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	ws, err := telemetry.ParseDump(rd)
+	if err != nil {
+		return fmt.Errorf("parse %s: %v", path, err)
+	}
+	res, err := telemetry.Replay(ws)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s replay certified: %d windows, %d events linearizable (%d checker states) — %s\n",
+		"", res.Windows, res.Events, res.StatesExplored, path)
+	return nil
 }
 
 func main() {
@@ -62,8 +155,26 @@ func main() {
 		if *implFlag != "all" && *implFlag != t.name {
 			continue
 		}
+		fr := telemetry.NewFlightRecorder(*threadsFlag)
+		var windows atomic.Int64
+		stopWatch := make(chan struct{})
+		if *watchFlag && t.sink != nil {
+			go func(name string, sink *telemetry.Sink) {
+				tick := time.NewTicker(time.Second)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopWatch:
+						return
+					case <-tick.C:
+						fmt.Println(watchLine(name, windows.Load(), sink.Snapshot()))
+					}
+				}
+			}(t.name, t.sink)
+		}
 		deadline := time.Now().Add(time.Duration(*secondsFlag) * time.Second)
 		var totalWindows, totalOps, totalStates int
+		implFailed := false
 		seed := *seedFlag
 		for time.Now().Before(deadline) {
 			st, err := stress.Run(t.d, stress.Config{
@@ -73,21 +184,45 @@ func main() {
 				Capacity:     t.capacity,
 				Items:        t.items,
 				Seed:         seed,
+				Recorder:     fr,
 			})
 			totalWindows += st.Windows
 			totalOps += st.Ops
 			totalStates += st.StatesExplored
+			windows.Store(int64(totalWindows))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: FAILED after %d windows: %v\n", t.name, totalWindows, err)
-				failed = true
+				dumpRecorder(fr, flightPathOrEmpty(t.name))
+				implFailed, failed = true, true
 				break
 			}
 			seed++
 		}
+		close(stopWatch)
+		if implFailed {
+			continue // one implementation's failure must not mute the others' runs
+		}
 		fmt.Printf("%-10s %8d windows %10d ops  linearizable ✓ (%d checker states)\n",
 			t.name, totalWindows, totalOps, totalStates)
+		if *watchFlag && t.sink != nil {
+			fmt.Println(watchLine(t.name, int64(totalWindows), t.sink.Snapshot()))
+		}
+		if *flightFlag != "" {
+			if err := certify(fr, flightPath(t.name)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: flight replay FAILED: %v\n", t.name, err)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// flightPathOrEmpty is flightPath when -flight was given, else "".
+func flightPathOrEmpty(impl string) string {
+	if *flightFlag == "" {
+		return ""
+	}
+	return flightPath(impl)
 }

@@ -13,6 +13,7 @@ import (
 type Array[T any] struct {
 	core  *arraydeque.Deque
 	slots *arena.Arena[T]
+	inst  *instruments
 }
 
 // NewArray returns an empty array-based deque with the given capacity
@@ -26,19 +27,31 @@ func NewArray[T any](capacity int, opts ...Option) *Array[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	var prov dcas.Provider
+	switch {
+	case cfg.globalLockDCAS:
+		prov = new(dcas.GlobalLock)
+	case cfg.endLockDCAS:
+		prov = new(dcas.EndLock)
+	case cfg.bitLockDCAS:
+		prov = new(dcas.BitLock)
+	}
+	var inst *instruments
+	if cfg.telemetry {
+		inst = newInstruments(cfg.telemetryName)
+		prov, cfg.backoff = inst.instrument(prov, cfg.backoff)
+	}
 	coreOpts := []arraydeque.Option{
 		arraydeque.WithStrongDCAS(cfg.strongDCAS),
 		arraydeque.WithRecheckIndex(cfg.recheckIndex),
 		arraydeque.WithPaddedCells(cfg.paddedCells),
 		arraydeque.WithBackoff(cfg.backoff),
 	}
-	switch {
-	case cfg.globalLockDCAS:
-		coreOpts = append(coreOpts, arraydeque.WithProvider(new(dcas.GlobalLock)))
-	case cfg.endLockDCAS:
-		coreOpts = append(coreOpts, arraydeque.WithProvider(new(dcas.EndLock)))
-	case cfg.bitLockDCAS:
-		coreOpts = append(coreOpts, arraydeque.WithProvider(new(dcas.BitLock)))
+	if prov != nil {
+		coreOpts = append(coreOpts, arraydeque.WithProvider(prov))
+	}
+	if inst != nil {
+		coreOpts = append(coreOpts, arraydeque.WithTelemetry(inst.sink))
 	}
 	// The slot arena needs headroom beyond capacity: a push allocates its
 	// slot before discovering the deque is full, so slots for concurrent
@@ -47,8 +60,24 @@ func NewArray[T any](capacity int, opts ...Option) *Array[T] {
 	return &Array[T]{
 		core:  arraydeque.New(capacity, coreOpts...),
 		slots: arena.New[T](2*capacity+64, arena.WithBlockSize(256)),
+		inst:  inst,
 	}
 }
+
+// Stats returns the deque's telemetry snapshot; ok is false (and the
+// snapshot zero) unless the deque was built with WithTelemetry or
+// WithTelemetryName.
+func (d *Array[T]) Stats() (Stats, bool) {
+	if d.inst == nil {
+		return Stats{}, false
+	}
+	return d.inst.stats(), true
+}
+
+// CloseTelemetry removes the deque from the process-wide exporter if it
+// was registered with WithTelemetryName.  Stats keeps working; only the
+// exporter entry is dropped.  Safe to call regardless of configuration.
+func (d *Array[T]) CloseTelemetry() { d.inst.close() }
 
 // Cap reports the deque's capacity.
 func (d *Array[T]) Cap() int { return d.core.Cap() }

@@ -76,6 +76,8 @@ type config struct {
 	paddedCells    bool
 	maxNodes       int
 	backoff        *dcas.BackoffPolicy
+	telemetry      bool
+	telemetryName  string
 }
 
 func defaultConfig() config {

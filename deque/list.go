@@ -24,6 +24,7 @@ type listCore interface {
 type List[T any] struct {
 	core  listCore
 	slots *arena.Arena[T]
+	inst  *instruments
 }
 
 // WithDummyNodes selects the Figure 10 representation for NewList: the
@@ -52,21 +53,33 @@ func NewList[T any](opts ...Option) *List[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	coreOpts := []listdeque.Option{
-		listdeque.WithMaxNodes(cfg.maxNodes + 2), // + the two sentinels
-		listdeque.WithNodeReuse(cfg.nodeReuse),
-		listdeque.WithBackoff(cfg.backoff),
-	}
+	var prov dcas.Provider
 	switch {
 	case cfg.globalLockDCAS:
-		coreOpts = append(coreOpts, listdeque.WithProvider(new(dcas.GlobalLock)))
+		prov = new(dcas.GlobalLock)
 	case (cfg.bitLockDCAS || cfg.endLockDCAS) && !cfg.lfrc:
 		// LFRC mixes per-location CAS on reference counts with DCAS on the
 		// same locations, which only the per-location emulation linearizes.
 		// EndLock falls back to the bit table here: list-deque link words
 		// appear on both sides of DCAS pairs, outside EndLock's
 		// anchored-pair contract.
-		coreOpts = append(coreOpts, listdeque.WithProvider(new(dcas.BitLock)))
+		prov = new(dcas.BitLock)
+	}
+	var inst *instruments
+	if cfg.telemetry {
+		inst = newInstruments(cfg.telemetryName)
+		prov, cfg.backoff = inst.instrument(prov, cfg.backoff)
+	}
+	coreOpts := []listdeque.Option{
+		listdeque.WithMaxNodes(cfg.maxNodes + 2), // + the two sentinels
+		listdeque.WithNodeReuse(cfg.nodeReuse),
+		listdeque.WithBackoff(cfg.backoff),
+	}
+	if prov != nil {
+		coreOpts = append(coreOpts, listdeque.WithProvider(prov))
+	}
+	if inst != nil {
+		coreOpts = append(coreOpts, listdeque.WithTelemetry(inst.sink))
 	}
 	var core listCore
 	switch {
@@ -81,8 +94,24 @@ func NewList[T any](opts ...Option) *List[T] {
 	return &List[T]{
 		core:  core,
 		slots: arena.New[T](cfg.maxNodes, arena.WithReuse(cfg.nodeReuse)),
+		inst:  inst,
 	}
 }
+
+// Stats returns the deque's telemetry snapshot; ok is false (and the
+// snapshot zero) unless the deque was built with WithTelemetry or
+// WithTelemetryName.
+func (d *List[T]) Stats() (Stats, bool) {
+	if d.inst == nil {
+		return Stats{}, false
+	}
+	return d.inst.stats(), true
+}
+
+// CloseTelemetry removes the deque from the process-wide exporter if it
+// was registered with WithTelemetryName.  Stats keeps working; only the
+// exporter entry is dropped.  Safe to call regardless of configuration.
+func (d *List[T]) CloseTelemetry() { d.inst.close() }
 
 func (d *List[T]) box(v T) (uint64, bool) {
 	idx, ok := d.slots.Alloc()

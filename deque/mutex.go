@@ -3,6 +3,7 @@ package deque
 import (
 	"dcasdeque/internal/baseline/mutexdeque"
 	"dcasdeque/internal/spec"
+	"dcasdeque/internal/telemetry"
 )
 
 // Mutex is the blocking baseline: a ring-buffer deque of T protected by a
@@ -14,12 +15,26 @@ type Mutex[T any] struct {
 	// synchronization, not boxing strategy.
 	slots []T
 	free  chan int
+	inst  *instruments
 }
 
 // NewMutex returns an empty mutex-based deque with the given capacity.
-func NewMutex[T any](capacity int) *Mutex[T] {
+// Only the telemetry options apply; the DCAS and algorithm-variant
+// options are meaningless for the blocking baseline and are ignored.
+// Telemetry counts operations and boundary hits at the wrapper layer
+// (there are no DCAS attempts or retries to attribute — the core holds a
+// lock instead).
+func NewMutex[T any](capacity int, opts ...Option) *Mutex[T] {
 	if capacity < 1 {
 		panic("deque: capacity must be ≥ 1")
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var inst *instruments
+	if cfg.telemetry {
+		inst = newInstruments(cfg.telemetryName)
 	}
 	// Slot headroom beyond capacity: pushes box before discovering the
 	// deque is full, so concurrent losing pushes need slots too.
@@ -28,12 +43,35 @@ func NewMutex[T any](capacity int) *Mutex[T] {
 		core:  mutexdeque.New(capacity),
 		slots: make([]T, nslots),
 		free:  make(chan int, nslots),
+		inst:  inst,
 	}
 	for i := 0; i < nslots; i++ {
 		m.free <- i
 	}
 	return m
 }
+
+// note records a completed operation when telemetry is enabled.
+func (d *Mutex[T]) note(end telemetry.End, outcome telemetry.Counter) {
+	if d.inst != nil {
+		d.inst.sink.Op(end, outcome, 0)
+	}
+}
+
+// Stats returns the deque's telemetry snapshot; ok is false (and the
+// snapshot zero) unless the deque was built with WithTelemetry or
+// WithTelemetryName.
+func (d *Mutex[T]) Stats() (Stats, bool) {
+	if d.inst == nil {
+		return Stats{}, false
+	}
+	return d.inst.stats(), true
+}
+
+// CloseTelemetry removes the deque from the process-wide exporter if it
+// was registered with WithTelemetryName.  Stats keeps working; only the
+// exporter entry is dropped.  Safe to call regardless of configuration.
+func (d *Mutex[T]) CloseTelemetry() { d.inst.close() }
 
 // Cap reports the deque's capacity.
 func (d *Mutex[T]) Cap() int { return d.core.Cap() }
@@ -61,12 +99,15 @@ func (d *Mutex[T]) unbox(h uint64) T {
 func (d *Mutex[T]) PushLeft(v T) error {
 	h, ok := d.box(v)
 	if !ok {
+		d.note(telemetry.Left, telemetry.FullHits)
 		return ErrFull
 	}
 	if d.core.PushLeft(h) == spec.Full {
 		d.unbox(h)
+		d.note(telemetry.Left, telemetry.FullHits)
 		return ErrFull
 	}
+	d.note(telemetry.Left, telemetry.Pushes)
 	return nil
 }
 
@@ -74,12 +115,15 @@ func (d *Mutex[T]) PushLeft(v T) error {
 func (d *Mutex[T]) PushRight(v T) error {
 	h, ok := d.box(v)
 	if !ok {
+		d.note(telemetry.Right, telemetry.FullHits)
 		return ErrFull
 	}
 	if d.core.PushRight(h) == spec.Full {
 		d.unbox(h)
+		d.note(telemetry.Right, telemetry.FullHits)
 		return ErrFull
 	}
+	d.note(telemetry.Right, telemetry.Pushes)
 	return nil
 }
 
@@ -87,20 +131,26 @@ func (d *Mutex[T]) PushRight(v T) error {
 func (d *Mutex[T]) PopLeft() (T, error) {
 	h, r := d.core.PopLeft()
 	if r == spec.Empty {
+		d.note(telemetry.Left, telemetry.EmptyHits)
 		var zero T
 		return zero, ErrEmpty
 	}
-	return d.unbox(h), nil
+	v := d.unbox(h)
+	d.note(telemetry.Left, telemetry.Pops)
+	return v, nil
 }
 
 // PopRight implements Deque.
 func (d *Mutex[T]) PopRight() (T, error) {
 	h, r := d.core.PopRight()
 	if r == spec.Empty {
+		d.note(telemetry.Right, telemetry.EmptyHits)
 		var zero T
 		return zero, ErrEmpty
 	}
-	return d.unbox(h), nil
+	v := d.unbox(h)
+	d.note(telemetry.Right, telemetry.Pops)
+	return v, nil
 }
 
 var _ Deque[int] = (*Mutex[int])(nil)

@@ -1,0 +1,169 @@
+package deque
+
+import (
+	"net/http"
+
+	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/telemetry"
+)
+
+// WithTelemetry enables per-end operation counters and DCAS contention
+// counters for the deque, readable through its Stats method.  Disabled
+// (the default) the hot path pays one nil check per operation; enabled,
+// counters are sharded and cache-line-padded so recording creates no new
+// contention between the two ends.
+//
+// For the array deque, enabling telemetry also routes DCAS through an
+// instrumented provider wrapper, which disables the inlined EndLock fast
+// path (operations fall back to interface dispatch).  That is the
+// documented cost of attribution; disable telemetry to get it back.
+func WithTelemetry() Option {
+	return func(c *config) { c.telemetry = true }
+}
+
+// WithTelemetryName enables telemetry (as WithTelemetry) and additionally
+// registers the deque's counters under name with the process-wide
+// exporter: the "dcasdeque" expvar variable and the TelemetryHandler HTTP
+// endpoint.  Registering a second deque under the same name replaces the
+// first.
+func WithTelemetryName(name string) Option {
+	return func(c *config) {
+		c.telemetry = true
+		c.telemetryName = name
+	}
+}
+
+// EndStats are one end's operation counters.  Pushes/Pops count
+// operations that returned normally; FullHits/EmptyHits count operations
+// that observed the boundary, so the end's completed-operation total is
+// the sum of all four.  Retries counts operation attempts that lost a
+// race and looped.
+type EndStats struct {
+	Pushes    uint64 `json:"pushes"`
+	Pops      uint64 `json:"pops"`
+	FullHits  uint64 `json:"full_hits"`
+	EmptyHits uint64 `json:"empty_hits"`
+	Retries   uint64 `json:"retries"`
+	// LogicalDeletes and PhysicalDeletes expose the list deques' two-phase
+	// deletion protocol (a pop marks; a later pass splices).  Zero for the
+	// array and mutex deques.
+	LogicalDeletes  uint64 `json:"logical_deletes"`
+	PhysicalDeletes uint64 `json:"physical_deletes"`
+}
+
+// RefStats are the LFRC reference-count transfer totals.  Zero unless the
+// deque was built with WithLFRC.
+type RefStats struct {
+	Incs  uint64 `json:"incs"`
+	Decs  uint64 `json:"decs"`
+	Frees uint64 `json:"frees"`
+}
+
+// DCASStats are the deque's DCAS substrate counters: every double-word
+// attempt the deque issued, how many failed, and the backoff work those
+// failures caused (spins/yields are zero unless WithBackoff is set).
+type DCASStats struct {
+	Attempts      uint64 `json:"attempts"`
+	Failures      uint64 `json:"failures"`
+	Successes     uint64 `json:"successes"`
+	BackoffSpins  uint64 `json:"backoff_spins"`
+	BackoffYields uint64 `json:"backoff_yields"`
+}
+
+// LocationStats attribute DCAS traffic to one shared location word.  ID
+// is the location's internal ordering token — stable for the deque's
+// lifetime, so two snapshots can be diffed — with 0 identifying the
+// overflow bucket (locations beyond the attribution table's capacity).
+type LocationStats struct {
+	ID       uint64 `json:"id"`
+	Attempts uint64 `json:"attempts"`
+	Failures uint64 `json:"failures"`
+}
+
+// Stats is a point-in-time snapshot of a deque's telemetry.  Totals are
+// sums over unsynchronized shard reads: exact after quiescence, monotone
+// per counter, but a snapshot taken mid-operation may split an
+// operation's counters (its Pushes increment visible before its Retries).
+type Stats struct {
+	Left  EndStats  `json:"left"`
+	Right EndStats  `json:"right"`
+	Ref   RefStats  `json:"ref"`
+	DCAS  DCASStats `json:"dcas"`
+	// Locations attribute the DCAS totals per shared word, most-contended
+	// ends first discoverable by sorting on Failures.
+	Locations []LocationStats `json:"locations,omitempty"`
+}
+
+// TelemetryHandler serves every deque registered with WithTelemetryName
+// as flat "name.end.counter value" text, one counter per line.  The same
+// data is published as the "dcasdeque" expvar variable, so it also
+// appears under the standard /debug/vars endpoint.
+func TelemetryHandler() http.Handler { return telemetry.Handler() }
+
+// instruments is the per-deque telemetry state the public wrappers carry
+// when telemetry is enabled; nil means disabled.
+type instruments struct {
+	sink       *telemetry.Sink
+	dcas       *dcas.AttrStats
+	unregister func()
+}
+
+// newInstruments builds the enabled-telemetry state: a counter sink, a
+// DCAS attribution table, and (when name is non-empty) an exporter
+// registration.
+func newInstruments(name string) *instruments {
+	in := &instruments{sink: telemetry.NewSink(), dcas: new(dcas.AttrStats)}
+	if name != "" {
+		in.unregister = telemetry.Register(name, in.sink, &in.dcas.Stats)
+	}
+	return in
+}
+
+// stats assembles the public snapshot.
+func (in *instruments) stats() Stats {
+	sn := in.sink.Snapshot()
+	dn := in.dcas.Snapshot()
+	st := Stats{
+		Left:  EndStats(sn.Left),
+		Right: EndStats(sn.Right),
+		Ref:   RefStats(sn.Ref),
+		DCAS: DCASStats{
+			Attempts:      dn.Attempts,
+			Failures:      dn.Failures,
+			Successes:     dn.Successes,
+			BackoffSpins:  dn.BackoffSpins,
+			BackoffYields: dn.BackoffYields,
+		},
+	}
+	for _, l := range in.dcas.PerLocation() {
+		st.Locations = append(st.Locations, LocationStats(l))
+	}
+	return st
+}
+
+// close drops the exporter registration, if any.
+func (in *instruments) close() {
+	if in != nil && in.unregister != nil {
+		in.unregister()
+	}
+}
+
+// instrument wraps the DCAS provider a core will use so every attempt is
+// counted and attributed, and attaches the backoff policy's spin/yield
+// counters to the same stats block.  It returns the provider to install
+// (never nil) and the backoff policy to install (nil stays nil: backoff
+// remains opt-in under telemetry).
+func (in *instruments) instrument(prov dcas.Provider, bo *dcas.BackoffPolicy) (dcas.Provider, *dcas.BackoffPolicy) {
+	if prov == nil {
+		prov = dcas.Default()
+	}
+	prov = dcas.InstrumentedAttr(prov, in.dcas)
+	if bo != nil {
+		// Clone: the caller's policy may be shared across deques, and this
+		// deque's spins must land in this deque's stats.
+		b := *bo
+		b.Stats = &in.dcas.Stats
+		bo = &b
+	}
+	return prov, bo
+}

@@ -1,0 +1,238 @@
+package deque
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsDisabled: without the telemetry options, Stats reports not-ok
+// and the wrappers never touch a sink.
+func TestStatsDisabled(t *testing.T) {
+	d := NewArray[int](4)
+	if err := d.PushRight(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Stats(); ok {
+		t.Fatal("Stats ok on a deque built without WithTelemetry")
+	}
+	d.CloseTelemetry() // must be a safe no-op
+	l := NewList[int]()
+	if _, ok := l.Stats(); ok {
+		t.Fatal("List Stats ok without WithTelemetry")
+	}
+	m := NewMutex[int](4)
+	if _, ok := m.Stats(); ok {
+		t.Fatal("Mutex Stats ok without WithTelemetry")
+	}
+}
+
+// exercise runs a deterministic single-thread workload whose counter
+// totals are known exactly.
+func exercise(t *testing.T, d Deque[int]) {
+	t.Helper()
+	for i := 0; i < 10; i++ {
+		if err := d.PushRight(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.PushLeft(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := d.PopLeft(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := d.PopRight(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.PopRight(); err != ErrEmpty {
+		t.Fatalf("pop of drained deque: %v", err)
+	}
+}
+
+func checkExercised(t *testing.T, st Stats, wantDCAS bool) {
+	t.Helper()
+	if st.Right.Pushes != 10 || st.Left.Pushes != 4 {
+		t.Fatalf("pushes = %d right / %d left, want 10/4", st.Right.Pushes, st.Left.Pushes)
+	}
+	if st.Left.Pops != 6 || st.Right.Pops != 8 {
+		t.Fatalf("pops = %d left / %d right, want 6/8", st.Left.Pops, st.Right.Pops)
+	}
+	if st.Right.EmptyHits != 1 {
+		t.Fatalf("right empty hits = %d, want 1", st.Right.EmptyHits)
+	}
+	if !wantDCAS {
+		return
+	}
+	// 29 completed operations, each linearizing at one successful DCAS at
+	// minimum (uncontended, so no failures are required — but attempts
+	// must cover the operations).
+	if st.DCAS.Attempts < 29 || st.DCAS.Successes < 29 {
+		t.Fatalf("DCAS attempts/successes = %d/%d, want ≥ 29", st.DCAS.Attempts, st.DCAS.Successes)
+	}
+	if len(st.Locations) == 0 {
+		t.Fatal("no per-location attribution")
+	}
+	var locAttempts uint64
+	for _, l := range st.Locations {
+		locAttempts += l.Attempts
+	}
+	// Every DCAS touches exactly two locations.
+	if locAttempts != 2*st.DCAS.Attempts {
+		t.Fatalf("location attempts = %d, want 2×%d", locAttempts, st.DCAS.Attempts)
+	}
+}
+
+func TestStatsArray(t *testing.T) {
+	d := NewArray[int](16, WithTelemetry())
+	exercise(t, d)
+	st, ok := d.Stats()
+	if !ok {
+		t.Fatal("Stats not ok with WithTelemetry")
+	}
+	checkExercised(t, st, true)
+	// Full hits: capacity 2 overflows on the third push.
+	small := NewArray[int](2, WithTelemetry())
+	_ = small.PushRight(1)
+	_ = small.PushRight(2)
+	if err := small.PushRight(3); err != ErrFull {
+		t.Fatalf("overfull push: %v", err)
+	}
+	sst, _ := small.Stats()
+	if sst.Right.FullHits != 1 {
+		t.Fatalf("full hits = %d, want 1", sst.Right.FullHits)
+	}
+}
+
+func TestStatsListVariants(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+		ref  bool
+	}{
+		{"deleted-bit", nil, false},
+		{"dummy", []Option{WithDummyNodes()}, false},
+		{"lfrc", []Option{WithLFRC()}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewList[int](append(tc.opts, WithTelemetry())...)
+			exercise(t, d)
+			st, ok := d.Stats()
+			if !ok {
+				t.Fatal("Stats not ok with WithTelemetry")
+			}
+			checkExercised(t, st, true)
+			if st.Left.LogicalDeletes != st.Left.Pops || st.Right.LogicalDeletes != st.Right.Pops {
+				t.Fatalf("logical deletes %d/%d != pops %d/%d",
+					st.Left.LogicalDeletes, st.Right.LogicalDeletes, st.Left.Pops, st.Right.Pops)
+			}
+			// Every node eventually leaves the list through a physical splice.
+			if tot := st.Left.PhysicalDeletes + st.Right.PhysicalDeletes; tot == 0 {
+				t.Fatal("no physical deletes recorded")
+			}
+			if tc.ref && (st.Ref.Incs == 0 || st.Ref.Decs == 0 || st.Ref.Frees == 0) {
+				t.Fatalf("LFRC ref counters empty: %+v", st.Ref)
+			}
+			if !tc.ref && st.Ref != (RefStats{}) {
+				t.Fatalf("non-LFRC deque recorded ref events: %+v", st.Ref)
+			}
+		})
+	}
+}
+
+func TestStatsMutex(t *testing.T) {
+	d := NewMutex[int](16, WithTelemetry())
+	exercise(t, d)
+	st, ok := d.Stats()
+	if !ok {
+		t.Fatal("Stats not ok with WithTelemetry")
+	}
+	checkExercised(t, st, false)
+	if st.DCAS.Attempts != 0 {
+		t.Fatalf("mutex deque counted DCAS attempts: %d", st.DCAS.Attempts)
+	}
+}
+
+// TestStatsContended: concurrent traffic on both ends must surface
+// retries (the acceptance criterion: per-end DCAS retry counts visible
+// through Stats).  The workload hammers a capacity-1 deque, where every
+// operation crosses the boundary cell, so any goroutine preempted
+// between its read and its DCAS fails that DCAS on resume.  When a
+// retry lands is up to the scheduler (on one processor it takes a
+// preemption mid-window), so batches repeat under a deadline until one
+// is observed.
+func TestStatsContended(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	d := NewArray[int](1, WithTelemetry())
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 5000; i++ {
+					if w%2 == 0 {
+						_ = d.PushRight(i)
+						_, _ = d.PopRight()
+					} else {
+						_ = d.PushLeft(i)
+						_, _ = d.PopLeft()
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		st, _ := d.Stats()
+		if st.Left.Retries+st.Right.Retries > 0 && st.DCAS.Failures > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no retries or DCAS failures recorded under contention: %+v", st.DCAS)
+		}
+	}
+}
+
+// TestStatsExported: WithTelemetryName surfaces the deque through the
+// text handler and the expvar variable.
+func TestStatsExported(t *testing.T) {
+	d := NewList[int](WithTelemetryName("exported-test"))
+	defer d.CloseTelemetry()
+	if err := d.PushRight(7); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	TelemetryHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "exported-test.right.pushes 1") {
+		t.Fatalf("handler output missing counter:\n%s", body)
+	}
+	v := expvar.Get("dcasdeque")
+	if v == nil {
+		t.Fatal("dcasdeque expvar not published")
+	}
+	var decoded map[string]struct {
+		Telemetry struct {
+			Right struct {
+				Pushes uint64 `json:"pushes"`
+			} `json:"right"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if decoded["exported-test"].Telemetry.Right.Pushes != 1 {
+		t.Fatalf("expvar missing push count: %s", v.String())
+	}
+}

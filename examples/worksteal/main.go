@@ -14,6 +14,12 @@
 // The computation is a parallel recursive sum over a synthetic binary
 // tree; the result is checked against the closed form.
 //
+// Each deque runs with telemetry enabled and registered with the
+// process-wide exporter, so the run doubles as an end-to-end smoke test
+// of the observability layer: on exit it prints each worker's per-end
+// counters (steals show up as left-end pops on the victim's deque) and
+// probes the HTTP exporter for the same numbers.
+//
 // Run with: go run ./examples/worksteal [-workers 4] [-depth 18]
 package main
 
@@ -23,7 +29,9 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +67,8 @@ func main() {
 	// own stack depth is at most the tree depth, plus stolen surplus.
 	deques := make([]*deque.Array[task], nWorkers)
 	for i := range deques {
-		deques[i] = deque.NewArray[task](1024)
+		deques[i] = deque.NewArray[task](1024,
+			deque.WithTelemetryName(fmt.Sprintf("worker%d", i)))
 	}
 	if err := deques[0].PushRight(task{node: 1, depth: depth}); err != nil {
 		log.Fatal(err)
@@ -125,6 +134,54 @@ func main() {
 	if sum.Load() != want {
 		log.Fatal("result mismatch")
 	}
+	printTelemetry(deques)
+}
+
+// printTelemetry reports each worker deque's counters and cross-checks
+// one of them against the HTTP exporter.  Owners work the right end and
+// thieves the left, so a deque's Left.Pops is the number of times it was
+// stolen from.
+func printTelemetry(deques []*deque.Array[task]) {
+	fmt.Println("\ntelemetry (right = owner end, left = thief end):")
+	fmt.Printf("%-10s %10s %10s %10s %10s %10s %12s\n",
+		"deque", "pushesR", "popsR", "emptyR", "stolenL", "retries", "dcas-failed")
+	var agg deque.Stats
+	for i, d := range deques {
+		st, ok := d.Stats()
+		if !ok {
+			log.Fatal("telemetry not enabled") // NewArray above always enables it
+		}
+		fmt.Printf("worker%-4d %10d %10d %10d %10d %10d %12d\n", i,
+			st.Right.Pushes, st.Right.Pops, st.Right.EmptyHits,
+			st.Left.Pops, st.Left.Retries+st.Right.Retries, st.DCAS.Failures)
+		agg.Right.Pushes += st.Right.Pushes
+		agg.Right.Pops += st.Right.Pops
+		agg.Left.Pops += st.Left.Pops
+		agg.DCAS.Attempts += st.DCAS.Attempts
+		agg.DCAS.Failures += st.DCAS.Failures
+	}
+	fmt.Printf("total: pushes=%d pops=%d stolen=%d dcas=%d (%d failed)\n",
+		agg.Right.Pushes, agg.Right.Pops+agg.Left.Pops, agg.Left.Pops,
+		agg.DCAS.Attempts, agg.DCAS.Failures)
+
+	// Exporter smoke test: the registered names must be visible through
+	// the HTTP endpoint with the same totals the snapshots reported.
+	rr := httptest.NewRecorder()
+	deque.TelemetryHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/telemetry", nil))
+	wantLine := fmt.Sprintf("worker0.right.pushes %d", mustStats(deques[0]).Right.Pushes)
+	if !strings.Contains(rr.Body.String(), wantLine) {
+		log.Fatalf("exporter missing %q in:\n%s", wantLine, rr.Body.String())
+	}
+	fmt.Printf("exporter: %d counters served, %q verified\n",
+		strings.Count(rr.Body.String(), "\n"), wantLine)
+}
+
+func mustStats(d *deque.Array[task]) deque.Stats {
+	st, ok := d.Stats()
+	if !ok {
+		log.Fatal("telemetry not enabled")
+	}
+	return st
 }
 
 // spawn pushes a task onto the worker's own right end; if the deque is

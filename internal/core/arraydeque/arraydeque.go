@@ -35,6 +35,7 @@ package arraydeque
 import (
 	"dcasdeque/internal/dcas"
 	"dcasdeque/internal/spec"
+	"dcasdeque/internal/telemetry"
 )
 
 // Null is the distinguished empty-cell word ("0" in the paper's figures).
@@ -69,6 +70,7 @@ type Deque struct {
 	backoff      *dcas.BackoffPolicy
 	recheckIndex bool
 	strongDCAS   bool
+	tel          *telemetry.Sink
 
 	_ dcas.CacheLinePad
 	//dequevet:contended left end index L, spun on by PopLeft/PushLeft
@@ -98,6 +100,7 @@ type options struct {
 	recheckIndex bool
 	strongDCAS   bool
 	paddedCells  bool
+	tel          *telemetry.Sink
 }
 
 // WithProvider selects the DCAS emulation (default: a fresh dcas.TwoLock).
@@ -130,6 +133,13 @@ func WithBackoff(p *dcas.BackoffPolicy) Option {
 	return func(o *options) { o.backoff = p }
 }
 
+// WithTelemetry attaches a telemetry sink: every completed operation is
+// counted against its end (successes, boundary hits, retries).  The
+// default — no sink — costs each operation one inlined nil check.
+func WithTelemetry(t *telemetry.Sink) Option {
+	return func(o *options) { o.tel = t }
+}
+
 // WithStrongDCAS enables or disables the lines 13–18 optimization: using
 // the strong form of DCAS (which returns an atomic view on failure) to
 // detect, without retrying, that a failed pop raced with an operation that
@@ -159,6 +169,7 @@ func New(n int, opts ...Option) *Deque {
 		backoff:      o.backoff,
 		recheckIndex: o.recheckIndex,
 		strongDCAS:   o.strongDCAS,
+		tel:          o.tel,
 	}
 	if o.paddedCells {
 		d.shift = cellShift
@@ -180,6 +191,15 @@ func New(n int, opts ...Option) *Deque {
 
 // Cap reports the deque's capacity length_S.
 func (d *Deque) Cap() int { return int(d.n) }
+
+// note flushes one completed operation's telemetry.  It is small enough
+// for the inliner, so with no sink attached the cost at every return site
+// is a single inlined nil check — the disabled-telemetry contract.
+func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+	if d.tel != nil {
+		d.tel.Op(end, outcome, retries)
+	}
+}
 
 // inc returns (i + 1) mod n.  Indices are always in [0, n), so the wrap
 // is a compare instead of a hardware divide (a variable modulus would put
@@ -205,6 +225,7 @@ func (d *Deque) dec(i uint64) uint64 {
 // empty at the operation's linearization point.
 func (d *Deque) PopRight() (uint64, spec.Result) {
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldR := d.endLoad(&d.r)      // line 3
 		newR := d.dec(oldR)     // line 4
@@ -222,6 +243,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
+					d.note(telemetry.Right, telemetry.EmptyHits, retries)
 					return 0, spec.Empty
 				}
 			}
@@ -237,6 +259,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, Null) { // linearization point: inlined EndLock commit
 							d.r.RawStore(newR)
+							d.note(telemetry.Right, telemetry.Pops, retries)
 							return oldS, spec.Okay // line 16
 						}
 						v1, v2 = oldR, cell.Load() // view under the mark
@@ -250,11 +273,13 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 						oldR, oldS, newR, Null)
 				}
 				if ok {
+					d.note(telemetry.Right, telemetry.Pops, retries)
 					return oldS, spec.Okay // line 16
 				}
 				oldR, oldS = v1, v2
 				if oldR == saveR { // line 17
 					if oldS == Null { // line 18: a competing popLeft
+						d.note(telemetry.Right, telemetry.EmptyHits, retries)
 						return 0, spec.Empty // "stole" the last item (Fig 6)
 					}
 				}
@@ -266,10 +291,12 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, newR, Null) // linearization point: weak DCAS commit
 				}
 				if ok {
+					d.note(telemetry.Right, telemetry.Pops, retries)
 					return oldS, spec.Okay
 				}
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -282,6 +309,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 		panic("arraydeque: cannot push the distinguished null value")
 	}
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldR := d.endLoad(&d.r)   // line 3
 		newR := d.inc(oldR)  // line 4
@@ -296,6 +324,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
+					d.note(telemetry.Right, telemetry.FullHits, retries)
 					return spec.Full // line 10
 				}
 			}
@@ -309,6 +338,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, v) { // linearization point: inlined EndLock commit
 							d.r.RawStore(newR)
+							d.note(telemetry.Right, telemetry.Pushes, retries)
 							return spec.Okay // line 16
 						}
 						v1 = oldR // anchor pinned, so the cell was non-null
@@ -322,9 +352,11 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 						oldR, oldS, newR, v)
 				}
 				if ok {
+					d.note(telemetry.Right, telemetry.Pushes, retries)
 					return spec.Okay // line 16
 				}
 				if v1 == saveR { // line 17: R unchanged, so the failure was
+					d.note(telemetry.Right, telemetry.FullHits, retries)
 					return spec.Full // a non-null cell: the deque is full
 				}
 			} else {
@@ -335,10 +367,12 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.r, cell, oldR, Null, newR, v) // linearization point: weak DCAS commit
 				}
 				if ok {
+					d.note(telemetry.Right, telemetry.Pushes, retries)
 					return spec.Okay
 				}
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -346,6 +380,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 // PopLeft implements Figure 30, the mirror image of PopRight.
 func (d *Deque) PopLeft() (uint64, spec.Result) {
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldL := d.endLoad(&d.l)   // line 3
 		newL := d.inc(oldL)  // line 4
@@ -360,6 +395,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
+					d.note(telemetry.Left, telemetry.EmptyHits, retries)
 					return 0, spec.Empty
 				}
 			}
@@ -373,6 +409,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, Null) { // linearization point: inlined EndLock commit
 							d.l.RawStore(newL)
+							d.note(telemetry.Left, telemetry.Pops, retries)
 							return oldS, spec.Okay
 						}
 						v1, v2 = oldL, cell.Load()
@@ -386,11 +423,13 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 						oldL, oldS, newL, Null)
 				}
 				if ok {
+					d.note(telemetry.Left, telemetry.Pops, retries)
 					return oldS, spec.Okay
 				}
 				oldL, oldS = v1, v2
 				if oldL == saveL {
 					if oldS == Null {
+						d.note(telemetry.Left, telemetry.EmptyHits, retries)
 						return 0, spec.Empty
 					}
 				}
@@ -402,10 +441,12 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, newL, Null) // linearization point: weak DCAS commit
 				}
 				if ok {
+					d.note(telemetry.Left, telemetry.Pops, retries)
 					return oldS, spec.Okay
 				}
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -417,6 +458,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 		panic("arraydeque: cannot push the distinguished null value")
 	}
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldL := d.endLoad(&d.l)   // line 3
 		newL := d.dec(oldL)  // line 4
@@ -431,6 +473,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
+					d.note(telemetry.Left, telemetry.FullHits, retries)
 					return spec.Full
 				}
 			}
@@ -444,6 +487,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, v) { // linearization point: inlined EndLock commit
 							d.l.RawStore(newL)
+							d.note(telemetry.Left, telemetry.Pushes, retries)
 							return spec.Okay
 						}
 						v1 = oldL
@@ -457,9 +501,11 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 						oldL, oldS, newL, v)
 				}
 				if ok {
+					d.note(telemetry.Left, telemetry.Pushes, retries)
 					return spec.Okay
 				}
 				if v1 == saveL {
+					d.note(telemetry.Left, telemetry.FullHits, retries)
 					return spec.Full
 				}
 			} else {
@@ -470,10 +516,12 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.l, cell, oldL, Null, newL, v) // linearization point: weak DCAS commit
 				}
 				if ok {
+					d.note(telemetry.Left, telemetry.Pushes, retries)
 					return spec.Okay
 				}
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }

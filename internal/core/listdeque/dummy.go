@@ -7,6 +7,7 @@ import (
 	"dcasdeque/internal/dcas"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/tagptr"
+	"dcasdeque/internal/telemetry"
 )
 
 // DummyDeque is the Figure 10 variant of the linked-list deque, built per
@@ -39,6 +40,7 @@ type DummyDeque struct {
 	srPtr  tagptr.Word
 
 	backoff *dcas.BackoffPolicy
+	tel     *telemetry.Sink
 
 	// itemLimit caps live regular nodes; the arena is sized itemLimit +
 	// dummyHeadroom so that pops can always allocate their delete-bit
@@ -72,7 +74,7 @@ func NewDummy(opts ...Option) *DummyDeque {
 	if !ok1 || !okSp || !ok2 {
 		panic("listdeque: sentinel allocation failed")
 	}
-	d := &DummyDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, itemLimit: o.maxNodes}
+	d := &DummyDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, tel: o.tel, itemLimit: o.maxNodes}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
 	d.node(sl).val.Init(SentL)
@@ -90,6 +92,21 @@ func (d *DummyDeque) node(idx uint32) *node { return d.ar.Get(idx) }
 
 // Arena exposes the node arena (for tests).
 func (d *DummyDeque) Arena() *arena.Arena[node] { return d.ar }
+
+// note and count are the telemetry flush helpers; see Deque.note.
+// PhysicalDeletes counts spliced-out regular nodes only — delete-bit
+// dummies are representation scaffolding, not deque items.
+func (d *DummyDeque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+	if d.tel != nil {
+		d.tel.Op(end, outcome, retries)
+	}
+}
+
+func (d *DummyDeque) count(end telemetry.End, c telemetry.Counter, n uint64) {
+	if d.tel != nil {
+		d.tel.Add(end, c, n)
+	}
+}
 
 // resolve interprets a sentinel inward pointer: if it references a dummy
 // node, the logical target is the node the dummy's inward pointer
@@ -130,6 +147,7 @@ func (d *DummyDeque) mkDummy(real tagptr.Word, right bool) (tagptr.Word, uint32,
 func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		raw := srL.Load()
 		real, deleted := d.resolve(raw, true)
@@ -147,10 +165,12 @@ func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 		}
 		v := d.node(ridx).val.Load()
 		if v == SentL {
+			d.note(telemetry.Right, telemetry.EmptyHits, retries)
 			return 0, spec.Empty
 		}
 		if v == Null {
 			if d.prov.DCAS(srL, &d.node(ridx).val, raw, v, raw, v) { // linearization point: empty confirm
+				d.note(telemetry.Right, telemetry.EmptyHits, retries)
 				return 0, spec.Empty
 			}
 		} else {
@@ -164,10 +184,13 @@ func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 				continue
 			}
 			if d.prov.DCAS(srL, &d.node(ridx).val, raw, v, dw, Null) { // linearization point: logical deletion via dummy
+				d.note(telemetry.Right, telemetry.Pops, retries)
+				d.count(telemetry.Right, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
 			d.ar.Free(didx) // never published
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -178,10 +201,12 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 		panic("listdeque: value collides with a distinguished word")
 	}
 	if d.ar.Live() >= d.itemLimit {
+		d.note(telemetry.Right, telemetry.FullHits, 0)
 		return spec.Full // leave the headroom for delete-bit dummies
 	}
 	idx, ok := d.ar.Alloc()
 	if !ok {
+		d.note(telemetry.Right, telemetry.FullHits, 0)
 		return spec.Full
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
@@ -189,6 +214,7 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		raw := srL.Load()
 		if _, deleted := d.resolve(raw, true); deleted {
@@ -199,8 +225,10 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 		n.l.Init(raw)
 		n.val.Init(v)
 		if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(raw)).r, raw, d.srPtr, nw, nw) { // linearization point: splice
+			d.note(telemetry.Right, telemetry.Pushes, retries)
 			return spec.Okay
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -235,6 +263,7 @@ func (d *DummyDeque) deleteRight() {
 				if d.prov.DCAS(srL, &lln.r, raw, oldLLR, oldLL, d.srPtr) {
 					d.ar.Free(delIdx)
 					d.ar.Free(tagptr.MustIdx(raw)) // the dummy
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -247,6 +276,9 @@ func (d *DummyDeque) deleteRight() {
 					d.ar.Free(tagptr.MustIdx(raw))      // right dummy
 					d.ar.Free(tagptr.MustIdx(leftReal)) // left null node
 					d.ar.Free(tagptr.MustIdx(oldRraw))  // left dummy
+					// One regular node was deleted from each side.
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -258,6 +290,7 @@ func (d *DummyDeque) deleteRight() {
 func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		raw := slR.Load()
 		real, deleted := d.resolve(raw, false)
@@ -271,10 +304,12 @@ func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 		}
 		v := d.node(ridx).val.Load()
 		if v == SentR {
+			d.note(telemetry.Left, telemetry.EmptyHits, retries)
 			return 0, spec.Empty
 		}
 		if v == Null {
 			if d.prov.DCAS(slR, &d.node(ridx).val, raw, v, raw, v) { // linearization point: empty confirm
+				d.note(telemetry.Left, telemetry.EmptyHits, retries)
 				return 0, spec.Empty
 			}
 		} else {
@@ -284,10 +319,13 @@ func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 				continue
 			}
 			if d.prov.DCAS(slR, &d.node(ridx).val, raw, v, dw, Null) { // linearization point: logical deletion via dummy
+				d.note(telemetry.Left, telemetry.Pops, retries)
+				d.count(telemetry.Left, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
 			d.ar.Free(didx)
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -298,10 +336,12 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 		panic("listdeque: value collides with a distinguished word")
 	}
 	if d.ar.Live() >= d.itemLimit {
+		d.note(telemetry.Left, telemetry.FullHits, 0)
 		return spec.Full // leave the headroom for delete-bit dummies
 	}
 	idx, ok := d.ar.Alloc()
 	if !ok {
+		d.note(telemetry.Left, telemetry.FullHits, 0)
 		return spec.Full
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
@@ -309,6 +349,7 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		raw := slR.Load()
 		if _, deleted := d.resolve(raw, false); deleted {
@@ -319,8 +360,10 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 		n.r.Init(raw)
 		n.val.Init(v)
 		if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(raw)).l, raw, d.slPtr, nw, nw) { // linearization point: splice
+			d.note(telemetry.Left, telemetry.Pushes, retries)
 			return spec.Okay
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -351,6 +394,7 @@ func (d *DummyDeque) deleteLeft() {
 				if d.prov.DCAS(slR, &rrn.l, raw, oldRRL, oldRR, d.slPtr) {
 					d.ar.Free(delIdx)
 					d.ar.Free(tagptr.MustIdx(raw))
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -363,6 +407,9 @@ func (d *DummyDeque) deleteLeft() {
 					d.ar.Free(tagptr.MustIdx(raw))
 					d.ar.Free(tagptr.MustIdx(rightReal))
 					d.ar.Free(tagptr.MustIdx(oldLraw))
+					// One regular node was deleted from each side.
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}

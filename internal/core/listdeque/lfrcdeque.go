@@ -7,6 +7,7 @@ import (
 	"dcasdeque/internal/dcas"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/tagptr"
+	"dcasdeque/internal/telemetry"
 )
 
 // LFRCDeque is the linked-list deque with Lock-Free Reference Counting
@@ -41,6 +42,7 @@ type LFRCDeque struct {
 	srPtr  tagptr.Word
 
 	backoff *dcas.BackoffPolicy
+	tel     *telemetry.Sink
 }
 
 // rcNode is a list node with a reference count.
@@ -71,7 +73,7 @@ func NewLFRC(opts ...Option) *LFRCDeque {
 	if !ok1 || !okSp || !ok2 {
 		panic("listdeque: sentinel allocation failed")
 	}
-	d := &LFRCDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff}
+	d := &LFRCDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, tel: o.tel}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
 	d.node(sl).val.Init(SentL)
@@ -91,6 +93,41 @@ func (d *LFRCDeque) node(idx uint32) *rcNode { return d.ar.Get(idx) }
 
 // Arena exposes the node arena (for leak checks in tests).
 func (d *LFRCDeque) Arena() *arena.Arena[rcNode] { return d.ar }
+
+// note and count are the telemetry flush helpers; see Deque.note.  The
+// ref helpers record LFRC count-transfer events — every increment (addRef
+// or an LFRCLoad's DCAS), every decrement, and every count reaching zero
+// (a deterministic reclamation) — making the methodology's extra
+// bookkeeping traffic observable next to the operation counts it serves.
+func (d *LFRCDeque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+	if d.tel != nil {
+		d.tel.Op(end, outcome, retries)
+	}
+}
+
+func (d *LFRCDeque) count(end telemetry.End, c telemetry.Counter, n uint64) {
+	if d.tel != nil {
+		d.tel.Add(end, c, n)
+	}
+}
+
+func (d *LFRCDeque) refInc() {
+	if d.tel != nil {
+		d.tel.RefInc()
+	}
+}
+
+func (d *LFRCDeque) refDec() {
+	if d.tel != nil {
+		d.tel.RefDec()
+	}
+}
+
+func (d *LFRCDeque) refFree() {
+	if d.tel != nil {
+		d.tel.RefFree()
+	}
+}
 
 // sentinel reports whether a pointer word references a sentinel, which is
 // exempt from counting.
@@ -112,6 +149,7 @@ func (d *LFRCDeque) addRef(w tagptr.Word) {
 			panic("listdeque: addRef on dead node")
 		}
 		if n.rc.CAS(rc, rc+1) {
+			d.refInc()
 			return
 		}
 	}
@@ -137,12 +175,14 @@ func (d *LFRCDeque) release(w tagptr.Word) {
 			if !n.rc.CAS(rc, rc-1) {
 				continue
 			}
+			d.refDec()
 			if rc-1 == 0 {
 				work = append(work, n.l.Load(), n.r.Load())
 				n.l.Init(tagptr.Nil)
 				n.r.Init(tagptr.Nil)
 				n.val.Init(Null)
 				d.ar.Free(idx)
+				d.refFree()
 			}
 			break
 		}
@@ -164,6 +204,7 @@ func (d *LFRCDeque) load(loc *dcas.Loc) tagptr.Word {
 			continue // node dying; loc must have moved on
 		}
 		if d.prov.DCAS(loc, &n.rc, w, rc, w, rc+1) {
+			d.refInc()
 			return w
 		}
 	}
@@ -173,12 +214,14 @@ func (d *LFRCDeque) load(loc *dcas.Loc) tagptr.Word {
 func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldL := d.load(srL) // counted local ref (unless sentinel)
 		ln := d.node(tagptr.MustIdx(oldL))
 		v := ln.val.Load()
 		if v == SentL {
 			d.release(oldL)
+			d.note(telemetry.Right, telemetry.EmptyHits, retries)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldL) {
@@ -190,6 +233,7 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 			ok := d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v) // linearization point: empty confirm
 			d.release(oldL)
 			if ok {
+				d.note(telemetry.Right, telemetry.EmptyHits, retries)
 				return 0, spec.Empty
 			}
 		} else {
@@ -199,9 +243,12 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 			ok := d.prov.DCAS(srL, &ln.val, oldL, v, newL, Null) // linearization point: logical deletion
 			d.release(oldL)
 			if ok {
+				d.note(telemetry.Right, telemetry.Pops, retries)
+				d.count(telemetry.Right, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -213,6 +260,7 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 	}
 	idx, ok := d.ar.Alloc()
 	if !ok {
+		d.note(telemetry.Right, telemetry.FullHits, 0)
 		return spec.Full
 	}
 	n := d.node(idx)
@@ -227,6 +275,7 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldL := d.load(srL)
 		if tagptr.Deleted(oldL) {
@@ -244,11 +293,13 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 			// oldL (released below) while n.l holds our transferred load
 			// reference (net 0 for oldL).
 			d.release(oldL) // SR->L's dropped reference to oldL
+			d.note(telemetry.Right, telemetry.Pushes, retries)
 			return spec.Okay
 		}
 		// Retry: reclaim the load reference (the n.l link will be
 		// overwritten next iteration).
 		d.release(oldL)
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -279,6 +330,7 @@ func (d *LFRCDeque) deleteRight() {
 					d.release(oldL)
 					d.release(oldLL)
 					d.release(oldLLR)
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -303,6 +355,9 @@ func (d *LFRCDeque) deleteRight() {
 					d.release(oldL) // our local
 					d.release(oldR) // our local
 					d.release(oldLL)
+					// One node was deleted from each side (Figure 16).
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -332,12 +387,14 @@ func (d *LFRCDeque) severLink(link *dcas.Loc, target tagptr.Word, sentinelWord t
 func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldR := d.load(slR)
 		rn := d.node(tagptr.MustIdx(oldR))
 		v := rn.val.Load()
 		if v == SentR {
 			d.release(oldR)
+			d.note(telemetry.Left, telemetry.EmptyHits, retries)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldR) {
@@ -349,6 +406,7 @@ func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 			ok := d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v) // linearization point: empty confirm
 			d.release(oldR)
 			if ok {
+				d.note(telemetry.Left, telemetry.EmptyHits, retries)
 				return 0, spec.Empty
 			}
 		} else {
@@ -356,9 +414,12 @@ func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 			ok := d.prov.DCAS(slR, &rn.val, oldR, v, newR, Null) // linearization point: logical deletion
 			d.release(oldR)
 			if ok {
+				d.note(telemetry.Left, telemetry.Pops, retries)
+				d.count(telemetry.Left, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -370,6 +431,7 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 	}
 	idx, ok := d.ar.Alloc()
 	if !ok {
+		d.note(telemetry.Left, telemetry.FullHits, 0)
 		return spec.Full
 	}
 	n := d.node(idx)
@@ -378,6 +440,7 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldR := d.load(slR)
 		if tagptr.Deleted(oldR) {
@@ -391,9 +454,11 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 		rn := d.node(tagptr.MustIdx(oldR))
 		if d.prov.DCAS(slR, &rn.l, oldR, d.slPtr, nw, nw) { // linearization point: splice
 			d.release(oldR)
+			d.note(telemetry.Left, telemetry.Pushes, retries)
 			return spec.Okay
 		}
 		d.release(oldR)
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -421,6 +486,7 @@ func (d *LFRCDeque) deleteLeft() {
 					d.release(oldR)
 					d.release(oldRR)
 					d.release(oldRRL)
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -440,6 +506,9 @@ func (d *LFRCDeque) deleteLeft() {
 					d.release(oldR) // our local
 					d.release(oldL) // our local
 					d.release(oldRR)
+					// One node was deleted from each side (Figure 16).
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}

@@ -40,6 +40,7 @@ import (
 	"dcasdeque/internal/dcas"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/tagptr"
+	"dcasdeque/internal/telemetry"
 )
 
 // Distinguished value words (Section 4: "three distinguished values
@@ -84,6 +85,7 @@ type Deque struct {
 
 	backoff     *dcas.BackoffPolicy
 	eagerDelete bool
+	tel         *telemetry.Sink
 }
 
 // Option configures a Deque.
@@ -95,6 +97,7 @@ type options struct {
 	maxNodes    int
 	reuse       bool
 	eagerDelete bool
+	tel         *telemetry.Sink
 }
 
 // WithProvider selects the DCAS emulation (default: a fresh dcas.TwoLock).
@@ -127,6 +130,15 @@ func WithNodeReuse(on bool) Option {
 // NewDummy and NewLFRC.
 func WithBackoff(p *dcas.BackoffPolicy) Option {
 	return func(o *options) { o.backoff = p }
+}
+
+// WithTelemetry attaches a telemetry sink: every completed operation is
+// counted against its end, with the two-phase deletion protocol visible
+// as separate logical- and physical-delete counters.  The default — no
+// sink — costs each operation one inlined nil check.  Shared by New,
+// NewDummy and NewLFRC.
+func WithTelemetry(t *telemetry.Sink) Option {
+	return func(o *options) { o.tel = t }
 }
 
 // WithEagerDelete makes a successful pop call the physical-deletion
@@ -165,6 +177,7 @@ func New(opts ...Option) *Deque {
 		sr:          sr,
 		backoff:     o.backoff,
 		eagerDelete: o.eagerDelete,
+		tel:         o.tel,
 	}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
@@ -192,15 +205,33 @@ func (d *Deque) follow(w tagptr.Word) *node { return d.node(tagptr.MustIdx(w)) }
 // Arena exposes the node arena (for tests and benchmarks).
 func (d *Deque) Arena() *arena.Arena[node] { return d.ar }
 
+// note flushes one completed operation's telemetry; count adds to one
+// per-end counter (delete-protocol events).  Both are small enough for
+// the inliner, so with no sink attached each costs one inlined nil check
+// at its call site — the disabled-telemetry contract.
+func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+	if d.tel != nil {
+		d.tel.Op(end, outcome, retries)
+	}
+}
+
+func (d *Deque) count(end telemetry.End, c telemetry.Counter, n uint64) {
+	if d.tel != nil {
+		d.tel.Add(end, c, n)
+	}
+}
+
 // PopRight implements Figure 11.
 func (d *Deque) PopRight() (uint64, spec.Result) {
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldL := srL.Load()   // line 3: oldL = SR->L
 		ln := d.follow(oldL) // oldL.ptr
 		v := ln.val.Load()   // line 4: v = oldL.ptr->value
 		if v == SentL {      // line 5
+			d.note(telemetry.Right, telemetry.EmptyHits, retries)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldL) { // line 6
@@ -212,6 +243,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 			// popLeft: the deque is empty if this view is instantaneous
 			// (lines 9-11; third diagram of Figure 9).
 			if d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v) { // linearization point: empty confirm (lines 9-11)
+				d.note(telemetry.Right, telemetry.EmptyHits, retries)
 				return 0, spec.Empty
 			}
 		} else {
@@ -222,9 +254,12 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 				if d.eagerDelete {
 					d.deleteRight() // footnote 6
 				}
+				d.note(telemetry.Right, telemetry.Pops, retries)
+				d.count(telemetry.Right, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay // line 18
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -237,6 +272,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 	}
 	idx, ok := d.ar.Alloc() // line 2: new Node()
 	if !ok {
+		d.note(telemetry.Right, telemetry.FullHits, 0)
 		return spec.Full // line 3
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false) // line 4: newL.deleted = false
@@ -244,6 +280,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldL := srL.Load()        // line 6
 		if tagptr.Deleted(oldL) { // line 7
@@ -260,8 +297,10 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 		// (lines 14-17, Figure 14).
 		oldLR := d.srPtr // lines 14-15: expected oldL.ptr->R = (SR, false)
 		if d.prov.DCAS(srL, &d.follow(oldL).r, oldL, oldLR, nw, nw) { // linearization point: splice (lines 14-17)
+			d.note(telemetry.Right, telemetry.Pushes, retries)
 			return spec.Okay // line 18
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -289,6 +328,7 @@ func (d *Deque) deleteRight() {
 				// (lines 9-12, Figure 15).
 				if d.prov.DCAS(srL, &lln.r, oldL, oldLLR, oldLL, d.srPtr) {
 					d.retire(delIdx)
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
 					return // line 13
 				}
 			}
@@ -301,6 +341,9 @@ func (d *Deque) deleteRight() {
 				if d.prov.DCAS(srL, slR, oldL, oldR, d.slPtr, d.srPtr) {
 					d.retire(delIdx)
 					d.retire(tagptr.MustIdx(oldR))
+					// One node was deleted from each side (Figure 16).
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -312,11 +355,13 @@ func (d *Deque) deleteRight() {
 func (d *Deque) PopLeft() (uint64, spec.Result) {
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldR := slR.Load()
 		rn := d.follow(oldR)
 		v := rn.val.Load()
 		if v == SentR {
+			d.note(telemetry.Left, telemetry.EmptyHits, retries)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldR) {
@@ -325,6 +370,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 		}
 		if v == Null {
 			if d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v) { // linearization point: empty confirm (lines 9-11)
+				d.note(telemetry.Left, telemetry.EmptyHits, retries)
 				return 0, spec.Empty
 			}
 		} else {
@@ -333,9 +379,12 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 				if d.eagerDelete {
 					d.deleteLeft()
 				}
+				d.note(telemetry.Left, telemetry.Pops, retries)
+				d.count(telemetry.Left, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -347,6 +396,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 	}
 	idx, ok := d.ar.Alloc()
 	if !ok {
+		d.note(telemetry.Left, telemetry.FullHits, 0)
 		return spec.Full
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
@@ -354,6 +404,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 	dcas.AssignIDs(&n.l, &n.r, &n.val)
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
+	var retries uint64
 	for {
 		oldR := slR.Load()
 		if tagptr.Deleted(oldR) {
@@ -365,8 +416,10 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 		n.val.Init(v)
 		oldRL := d.slPtr
 		if d.prov.DCAS(slR, &d.follow(oldR).l, oldR, oldRL, nw, nw) { // linearization point: splice (lines 14-17)
+			d.note(telemetry.Left, telemetry.Pushes, retries)
 			return spec.Okay
 		}
+		retries++
 		bo.Wait() // the attempt lost a race; back off before retrying
 	}
 }
@@ -388,6 +441,7 @@ func (d *Deque) deleteLeft() {
 			if tagptr.Ptr(oldR) == tagptr.Ptr(oldRRL) {
 				if d.prov.DCAS(slR, &rrn.l, oldR, oldRRL, oldRR, d.slPtr) {
 					d.retire(delIdx)
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}
@@ -397,6 +451,9 @@ func (d *Deque) deleteLeft() {
 				if d.prov.DCAS(slR, srL, oldR, oldL, d.srPtr, d.slPtr) {
 					d.retire(delIdx)
 					d.retire(tagptr.MustIdx(oldL))
+					// One node was deleted from each side (Figure 16).
+					d.count(telemetry.Left, telemetry.PhysicalDeletes, 1)
+					d.count(telemetry.Right, telemetry.PhysicalDeletes, 1)
 					return
 				}
 			}

@@ -105,6 +105,12 @@ func AssignIDs(locs ...*Loc) {
 	}
 }
 
+// ID returns the location's process-wide ordering token, assigning one on
+// first use.  The token doubles as a stable identity for per-location
+// attribution (AttrStats): it survives arena recycling and is never
+// reused, so "location 7" means the same word for a deque's whole life.
+func (l *Loc) ID() uint64 { return l.lockID() }
+
 // Load atomically reads the location (Read_i(L) in the paper's model).
 func (l *Loc) Load() uint64 { return l.v.Load() }
 

@@ -25,7 +25,48 @@ type Stats struct {
 }
 
 // Successes reports Attempts minus Failures at the instant of the call.
-func (s *Stats) Successes() uint64 { return s.Attempts.Load() - s.Failures.Load() }
+// The two counters are read separately, so a concurrent Reset can land
+// between the loads and leave Failures momentarily larger than Attempts;
+// the difference is clamped to zero rather than wrapping to ~2^64.
+func (s *Stats) Successes() uint64 {
+	a, f := s.Attempts.Load(), s.Failures.Load()
+	if f > a {
+		return 0
+	}
+	return a - f
+}
+
+// Snapshot is a plain-value copy of a Stats, for exporters and reports
+// that want to read the counters once and hand them around without
+// carrying atomics.
+//
+// The counters are loaded one by one with no synchronization between
+// them, so a snapshot taken while operations (or a Reset) are in flight
+// may be mutually inconsistent — e.g. a failure counted whose attempt is
+// not yet visible.  Successes is computed from the snapshot's own
+// Attempts/Failures pair with the same clamping as Stats.Successes.
+type Snapshot struct {
+	Attempts      uint64 `json:"attempts"`
+	Failures      uint64 `json:"failures"`
+	Successes     uint64 `json:"successes"`
+	BackoffSpins  uint64 `json:"backoff_spins"`
+	BackoffYields uint64 `json:"backoff_yields"`
+}
+
+// Snapshot reads all counters into plain values.  See Snapshot's
+// documentation for the consistency contract.
+func (s *Stats) Snapshot() Snapshot {
+	sn := Snapshot{
+		Attempts:      s.Attempts.Load(),
+		Failures:      s.Failures.Load(),
+		BackoffSpins:  s.BackoffSpins.Load(),
+		BackoffYields: s.BackoffYields.Load(),
+	}
+	if sn.Failures <= sn.Attempts {
+		sn.Successes = sn.Attempts - sn.Failures
+	}
+	return sn
+}
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() {

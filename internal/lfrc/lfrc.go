@@ -36,6 +36,7 @@ import (
 
 	"dcasdeque/internal/arena"
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/telemetry"
 )
 
 // Ref is a counted reference: the arena handle word (generation<<32 |
@@ -63,6 +64,35 @@ type Pool[T any] struct {
 	// references (by calling the passed release function on each).  May be
 	// nil for leaf objects.
 	onRelease func(*T, func(Ref))
+	// tel, when non-nil, receives reference-count transfer events
+	// (increments, decrements, reclamations).  Disabled costs a nil check.
+	tel *telemetry.Sink
+}
+
+// SetTelemetry attaches a sink that receives the pool's count-transfer
+// events, or detaches it when s is nil.  Call before sharing the pool;
+// the field is not synchronized.
+func (p *Pool[T]) SetTelemetry(s *telemetry.Sink) { p.tel = s }
+
+// refInc records one count increment when telemetry is attached.
+func (p *Pool[T]) refInc() {
+	if p.tel != nil {
+		p.tel.RefInc()
+	}
+}
+
+// refDec records one count decrement when telemetry is attached.
+func (p *Pool[T]) refDec() {
+	if p.tel != nil {
+		p.tel.RefDec()
+	}
+}
+
+// refFree records one reclamation when telemetry is attached.
+func (p *Pool[T]) refFree() {
+	if p.tel != nil {
+		p.tel.RefFree()
+	}
 }
 
 // NewPool returns a pool with the given capacity.  onRelease, if non-nil,
@@ -129,6 +159,7 @@ func (p *Pool[T]) AddRef(r Ref) {
 			panic("lfrc: AddRef on dead object")
 		}
 		if obj.rc.CAS(rc, rc+1) {
+			p.refInc()
 			return
 		}
 	}
@@ -156,6 +187,7 @@ func (p *Pool[T]) Release(r Ref) {
 			if !obj.rc.CAS(rc, rc-1) {
 				continue
 			}
+			p.refDec()
 			if rc-1 == 0 {
 				// Last reference: collect outgoing references, then free.
 				if p.onRelease != nil {
@@ -166,6 +198,7 @@ func (p *Pool[T]) Release(r Ref) {
 				var zero T
 				obj.val = zero
 				p.ar.Free(idx)
+				p.refFree()
 			}
 			break
 		}
@@ -196,6 +229,7 @@ func (p *Pool[T]) Load(loc *dcas.Loc) Ref {
 			continue // dying; loc must have moved on
 		}
 		if p.prov.DCAS(loc, &obj.rc, r, rc, r, rc+1) {
+			p.refInc()
 			return r
 		}
 	}

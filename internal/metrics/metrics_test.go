@@ -120,6 +120,72 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+func TestBucketLowSaturation(t *testing.T) {
+	// The top power-of-two region is exp 63; bucketOf(MaxUint64) is the
+	// last real bucket, so Quantile's bucketLow(b+1) upper bound asks for
+	// exp ≥ 64 — which must saturate to MaxUint64, not shift-overflow to
+	// a tiny bound.
+	const top = ^uint64(0)
+	last := bucketOf(top)
+	if got := bucketLow(last + 1); got != top {
+		t.Fatalf("bucketLow(%d) = %d, want saturation to MaxUint64", last+1, got)
+	}
+	// Every index past the table also saturates (Quantile may probe b+1
+	// for any populated b).
+	for _, b := range []int{last + 2, 62 * subBuckets, 1000} {
+		if got := bucketLow(b); got != top {
+			t.Fatalf("bucketLow(%d) = %d, want saturation", b, got)
+		}
+	}
+	// The last unsaturated index is still a real lower bound below the
+	// saturation point.
+	if got := bucketLow(last); got == top || got > top-(top>>4) {
+		t.Fatalf("bucketLow(%d) = %d saturated too early", last, got)
+	}
+	// End to end: a histogram holding MaxUint64 reports it, at every
+	// quantile, without overflow.
+	var h Histogram
+	h.Record(top)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != top {
+			t.Fatalf("Quantile(%v) = %d, want MaxUint64", q, got)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	// Merging two empties stays empty.
+	var a, b Histogram
+	a.Merge(&b)
+	if a.N() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatalf("empty∪empty: n=%d min=%d max=%d", a.N(), a.Min(), a.Max())
+	}
+	// Empty ∪ non-empty adopts the other's extremes: min must be copied
+	// even though the empty side's zero min is numerically smaller-looking
+	// state, not a real observation.
+	var full Histogram
+	full.Record(100)
+	full.Record(200)
+	a.Merge(&full)
+	if a.Min() != 100 || a.Max() != 200 || a.N() != 2 {
+		t.Fatalf("empty∪full: n=%d min=%d max=%d, want 2/100/200", a.N(), a.Min(), a.Max())
+	}
+	// Non-empty ∪ empty keeps its extremes: the empty side's zero min
+	// must not clobber a real minimum.
+	var c, empty Histogram
+	c.Record(100)
+	c.Record(200)
+	c.Merge(&empty)
+	if c.Min() != 100 || c.Max() != 200 || c.N() != 2 {
+		t.Fatalf("full∪empty: n=%d min=%d max=%d, want 2/100/200", c.N(), c.Min(), c.Max())
+	}
+	// And a later real observation below the adopted minimum still wins.
+	c.Record(7)
+	if c.Min() != 7 {
+		t.Fatalf("min after post-merge record = %d, want 7", c.Min())
+	}
+}
+
 func TestRecordSince(t *testing.T) {
 	var h Histogram
 	start := time.Now()

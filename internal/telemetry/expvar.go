@@ -1,0 +1,133 @@
+package telemetry
+
+// The stdlib-only exporter: registered sinks are published under one
+// expvar variable ("dcasdeque"), so any process already serving
+// /debug/vars exposes its deques' telemetry with zero extra wiring, and
+// Handler serves the same numbers as flat `name value` text lines for
+// curl/grep-style scraping and the dequestress -watch dashboard.
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"dcasdeque/internal/dcas"
+)
+
+// entry is one registered deque's telemetry sources.
+type entry struct {
+	sink *Sink
+	dcas *dcas.Stats
+}
+
+var (
+	registryMu  sync.Mutex
+	registry    = map[string]entry{}
+	publishOnce sync.Once
+)
+
+// Register exposes a deque's telemetry under the given name via the
+// expvar variable "dcasdeque" (and Handler).  st may be nil when the
+// deque has no instrumented DCAS provider.  Registering a name again
+// replaces the previous entry; the returned function unregisters it
+// (idempotently, and only while the entry is still the registered one).
+func Register(name string, sink *Sink, st *dcas.Stats) func() {
+	publishOnce.Do(func() {
+		expvar.Publish("dcasdeque", expvar.Func(exportAll))
+	})
+	e := entry{sink: sink, dcas: st}
+	registryMu.Lock()
+	registry[name] = e
+	registryMu.Unlock()
+	return func() {
+		registryMu.Lock()
+		if registry[name] == e {
+			delete(registry, name)
+		}
+		registryMu.Unlock()
+	}
+}
+
+// snapshotAll copies the registry and snapshots every entry.
+func snapshotAll() map[string]exportEntry {
+	registryMu.Lock()
+	entries := make(map[string]entry, len(registry))
+	for n, e := range registry {
+		entries[n] = e
+	}
+	registryMu.Unlock()
+	out := make(map[string]exportEntry, len(entries))
+	for n, e := range entries {
+		ee := exportEntry{Telemetry: e.sink.Snapshot()}
+		if e.dcas != nil {
+			sn := e.dcas.Snapshot()
+			ee.DCAS = &sn
+		}
+		out[n] = ee
+	}
+	return out
+}
+
+// exportEntry is the JSON shape of one deque under the "dcasdeque"
+// expvar variable.
+type exportEntry struct {
+	Telemetry Snapshot       `json:"telemetry"`
+	DCAS      *dcas.Snapshot `json:"dcas,omitempty"`
+}
+
+// exportAll is the expvar.Func body: a map of deque name to snapshot,
+// marshalled by expvar itself.
+func exportAll() any {
+	return snapshotAll()
+}
+
+// Handler returns an http.Handler serving every registered deque's
+// counters as flat text, one `key value` pair per line:
+//
+//	deques.left.pushes 1042
+//	deques.left.retries 13
+//	deques.dcas.attempts 2213
+//
+// sorted by key so scrapes diff cleanly.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var b strings.Builder
+		WriteText(&b)
+		_, _ = fmt.Fprint(w, b.String())
+	})
+}
+
+// WriteText renders every registered deque's counters in Handler's flat
+// text form.
+func WriteText(b *strings.Builder) {
+	all := snapshotAll()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := all[n]
+		for _, end := range [NumEnds]End{Left, Right} {
+			oc := e.Telemetry.End(end)
+			for c := Counter(0); c < NumCounters; c++ {
+				fmt.Fprintf(b, "%s.%v.%v %d\n", n, end, c, oc.get(c))
+			}
+		}
+		r := e.Telemetry.Ref
+		fmt.Fprintf(b, "%s.ref.incs %d\n", n, r.Incs)
+		fmt.Fprintf(b, "%s.ref.decs %d\n", n, r.Decs)
+		fmt.Fprintf(b, "%s.ref.frees %d\n", n, r.Frees)
+		if e.DCAS != nil {
+			fmt.Fprintf(b, "%s.dcas.attempts %d\n", n, e.DCAS.Attempts)
+			fmt.Fprintf(b, "%s.dcas.failures %d\n", n, e.DCAS.Failures)
+			fmt.Fprintf(b, "%s.dcas.successes %d\n", n, e.DCAS.Successes)
+			fmt.Fprintf(b, "%s.dcas.backoff_spins %d\n", n, e.DCAS.BackoffSpins)
+			fmt.Fprintf(b, "%s.dcas.backoff_yields %d\n", n, e.DCAS.BackoffYields)
+		}
+	}
+}

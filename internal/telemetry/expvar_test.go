@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dcasdeque/internal/dcas"
+)
+
+func TestExporter(t *testing.T) {
+	sink := NewSink()
+	sink.Op(Right, Pushes, 2)
+	sink.Op(Left, Pops, 0)
+	var st dcas.Stats
+	st.Attempts.Add(5)
+	st.Failures.Add(2)
+	unregister := Register("test_exporter_deque", sink, &st)
+	defer unregister()
+
+	// The flat text endpoint.
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"test_exporter_deque.right.pushes 1",
+		"test_exporter_deque.right.retries 2",
+		"test_exporter_deque.left.pops 1",
+		"test_exporter_deque.dcas.attempts 5",
+		"test_exporter_deque.dcas.successes 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exporter text missing %q:\n%s", want, body)
+		}
+	}
+
+	// The expvar variable carries the same snapshot as JSON.
+	v := expvar.Get("dcasdeque")
+	if v == nil {
+		t.Fatal("expvar \"dcasdeque\" not published")
+	}
+	var decoded map[string]exportEntry
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar JSON: %v\n%s", err, v.String())
+	}
+	e, ok := decoded["test_exporter_deque"]
+	if !ok {
+		t.Fatalf("expvar JSON missing registered deque: %s", v.String())
+	}
+	if e.Telemetry.Right.Pushes != 1 || e.Telemetry.Right.Retries != 2 {
+		t.Fatalf("expvar telemetry = %+v", e.Telemetry)
+	}
+	if e.DCAS == nil || e.DCAS.Attempts != 5 || e.DCAS.Successes != 3 {
+		t.Fatalf("expvar dcas = %+v", e.DCAS)
+	}
+
+	// Unregister removes the entry.
+	unregister()
+	rec = httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if strings.Contains(rec.Body.String(), "test_exporter_deque") {
+		t.Fatal("entry still exported after unregister")
+	}
+	unregister() // idempotent
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	a, b := NewSink(), NewSink()
+	a.Op(Left, Pushes, 0)
+	b.Op(Left, Pushes, 0)
+	b.Op(Left, Pushes, 0)
+	unA := Register("test_replace_deque", a, nil)
+	unB := Register("test_replace_deque", b, nil)
+	defer unB()
+
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(rec.Body.String(), "test_replace_deque.left.pushes 2") {
+		t.Fatalf("replacement not visible:\n%s", rec.Body.String())
+	}
+
+	// The stale unregister func must not remove the replacement.
+	unA()
+	rec = httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(rec.Body.String(), "test_replace_deque.left.pushes 2") {
+		t.Fatal("stale unregister removed the replacement entry")
+	}
+}

@@ -1,0 +1,392 @@
+package telemetry
+
+// The flight recorder: a bounded, per-goroutine ring buffer of operation
+// events whose dump the linearizability checker can replay (replay.go).
+//
+// The recorder turns the paper's Section 5 proof obligation — every
+// operation takes effect at exactly one DCAS inside its real-time
+// interval — into a post-mortem check on real executions: workers record
+// invocation/response tickets around each operation, the rings are
+// drained at quiesced window boundaries, and each window is re-checked
+// against the sequential specification exactly as the proof demands.
+//
+// Bounded means bounded: each thread's ring holds the most recent
+// ringCap events of the current window and overwrites the oldest on
+// overflow, setting the window's Truncated flag.  A truncated window is
+// not replayable (replay would report spurious violations for operations
+// whose pushes were evicted), and Replay refuses it.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/hist"
+)
+
+// Event is one recorded operation: what was invoked, what it returned,
+// and the ticket interval it occupied.  Tickets come from the recorder's
+// shared atomic clock, so the induced order is consistent with real time
+// (see internal/verify/hist).
+type Event struct {
+	Thread   int
+	Kind     hist.Kind
+	Arg      uint64 // pushed value tag
+	Val      uint64 // popped value tag (when Res == Okay)
+	Res      spec.Result
+	Invoke   uint64
+	Response uint64
+}
+
+// Op converts the event to the history checker's representation.
+func (e Event) Op() hist.Op {
+	return hist.Op{
+		Thread: e.Thread, Kind: e.Kind, Arg: e.Arg, Val: e.Val,
+		Res: e.Res, Invoke: e.Invoke, Response: e.Response,
+	}
+}
+
+// Window is one quiesced recording interval: the deque's capacity and
+// contents when the window opened, and the events recorded during it.
+type Window struct {
+	// Capacity is the deque capacity for replay (spec.Unbounded for the
+	// list deques).
+	Capacity int
+	// Initial is the deque's contents, left to right, when the window
+	// opened.
+	Initial []uint64
+	// Truncated is set when any thread's ring overflowed during the
+	// window; a truncated window cannot be replayed.
+	Truncated bool
+	// Events holds the recorded operations, grouped by thread.
+	Events []Event
+}
+
+// threadRing is one goroutine's event ring.  Rings are padded apart so
+// two recording threads never share a line — the recorder must not
+// manufacture the false sharing it exists to measure.
+type threadRing struct {
+	buf       []Event
+	next      int // total events written this window; index = next % len(buf)
+	truncated bool
+	_         [dcas.CacheLineBytes]byte
+}
+
+// DefaultRingCap is the per-thread ring capacity used by NewFlightRecorder.
+// Replay windows are bounded by the checker's 64-op limit anyway, so the
+// ring only needs headroom over one window's share of operations.
+const DefaultRingCap = 128
+
+// DefaultKeepWindows is how many closed windows NewFlightRecorder retains.
+const DefaultKeepWindows = 8
+
+// FlightRecorder records bounded per-goroutine operation histories in
+// windows.  Begin/End are safe for concurrent use by their owning
+// threads (thread t's goroutine is the only caller of End(t, ...));
+// BeginWindow, EndWindow, Windows and Dump require quiescence — no
+// concurrent Begin/End — which is the natural discipline of windowed
+// stress runs.
+//
+// End has the same signature as hist.Recorder.End, so the stress harness
+// can drive either through one interface.
+type FlightRecorder struct {
+	clock   atomic.Uint64
+	rings   []threadRing
+	ringCap int
+
+	open    bool
+	current Window // metadata of the open window
+
+	keep    int
+	windows []Window // closed windows, oldest first, at most keep
+}
+
+// NewFlightRecorder returns a recorder for n worker threads with the
+// default ring capacity and window retention.
+func NewFlightRecorder(n int) *FlightRecorder {
+	return NewFlightRecorderSized(n, DefaultRingCap, DefaultKeepWindows)
+}
+
+// NewFlightRecorderSized returns a recorder for n worker threads keeping
+// the last keep windows of at most ringCap events per thread each.
+func NewFlightRecorderSized(n, ringCap, keep int) *FlightRecorder {
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	r := &FlightRecorder{
+		rings:   make([]threadRing, n),
+		ringCap: ringCap,
+		keep:    keep,
+	}
+	for i := range r.rings {
+		r.rings[i].buf = make([]Event, 0, ringCap)
+	}
+	return r
+}
+
+// Threads returns the recorder's worker-thread count.
+func (r *FlightRecorder) Threads() int { return len(r.rings) }
+
+// BeginWindow opens a recording window over a quiesced deque with the
+// given capacity and contents.  An open window is closed (and retained)
+// first.
+func (r *FlightRecorder) BeginWindow(capacity int, initial []uint64) {
+	if r.open {
+		r.EndWindow()
+	}
+	r.current = Window{Capacity: capacity, Initial: append([]uint64(nil), initial...)}
+	for i := range r.rings {
+		rg := &r.rings[i]
+		rg.buf = rg.buf[:0]
+		rg.next = 0
+		rg.truncated = false
+	}
+	r.open = true
+}
+
+// Begin takes an invocation ticket.  Call immediately before the
+// operation.
+func (r *FlightRecorder) Begin() uint64 { return r.clock.Add(1) }
+
+// End records a completed operation for thread t; the response ticket is
+// taken here.  Only thread t's goroutine may call End(t, ...).
+func (r *FlightRecorder) End(t int, k hist.Kind, arg, val uint64, res spec.Result, invoke uint64) {
+	ev := Event{
+		Thread: t, Kind: k, Arg: arg, Val: val, Res: res,
+		Invoke: invoke, Response: r.clock.Add(1),
+	}
+	rg := &r.rings[t]
+	if len(rg.buf) < r.ringCap {
+		rg.buf = append(rg.buf, ev)
+	} else {
+		rg.buf[rg.next%r.ringCap] = ev
+		rg.truncated = true
+	}
+	rg.next++
+}
+
+// EndWindow closes the open window, draining every thread's ring into it,
+// and retains it (evicting the oldest retained window beyond the keep
+// bound).  It returns the closed window; calling it with no open window
+// returns a zero Window.
+func (r *FlightRecorder) EndWindow() Window {
+	if !r.open {
+		return Window{}
+	}
+	w := r.current
+	for i := range r.rings {
+		rg := &r.rings[i]
+		if rg.truncated {
+			w.Truncated = true
+			// Oldest surviving event is at the ring cursor.
+			at := rg.next % r.ringCap
+			w.Events = append(w.Events, rg.buf[at:]...)
+			w.Events = append(w.Events, rg.buf[:at]...)
+		} else {
+			w.Events = append(w.Events, rg.buf...)
+		}
+	}
+	r.open = false
+	r.windows = append(r.windows, w)
+	if len(r.windows) > r.keep {
+		r.windows = r.windows[len(r.windows)-r.keep:]
+	}
+	return w
+}
+
+// Windows returns the retained closed windows, oldest first.  The slice
+// is shared; treat it as read-only.
+func (r *FlightRecorder) Windows() []Window {
+	return r.windows
+}
+
+// LastWindow returns the most recently closed window, if any.
+func (r *FlightRecorder) LastWindow() (Window, bool) {
+	if len(r.windows) == 0 {
+		return Window{}, false
+	}
+	return r.windows[len(r.windows)-1], true
+}
+
+// Dump format: a line-oriented text form, one event per line, designed
+// to be grep-able in a post-mortem and exactly re-parseable by ParseDump.
+//
+//	dcasdeque-flight v1
+//	window cap=8 truncated=0
+//	init 3 7
+//	op t=0 k=pushLeft arg=5 val=0 res=okay inv=1 resp=2
+//	endwindow
+const dumpHeader = "dcasdeque-flight v1"
+
+// Dump writes every retained window in the text dump format.
+func (r *FlightRecorder) Dump(w io.Writer) error {
+	return WriteDump(w, r.windows)
+}
+
+// WriteDump writes the windows in the text dump format.
+func WriteDump(w io.Writer, ws []Window) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, dumpHeader)
+	for _, win := range ws {
+		trunc := 0
+		if win.Truncated {
+			trunc = 1
+		}
+		fmt.Fprintf(bw, "window cap=%d truncated=%d\n", win.Capacity, trunc)
+		fmt.Fprint(bw, "init")
+		for _, v := range win.Initial {
+			fmt.Fprintf(bw, " %d", v)
+		}
+		fmt.Fprintln(bw)
+		for _, e := range win.Events {
+			fmt.Fprintf(bw, "op t=%d k=%v arg=%d val=%d res=%v inv=%d resp=%d\n",
+				e.Thread, e.Kind, e.Arg, e.Val, e.Res, e.Invoke, e.Response)
+		}
+		fmt.Fprintln(bw, "endwindow")
+	}
+	return bw.Flush()
+}
+
+// ParseDump reads windows back from the text dump format.
+func ParseDump(rd io.Reader) ([]Window, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok || hdr != dumpHeader {
+		return nil, fmt.Errorf("telemetry: line %d: missing dump header %q", line, dumpHeader)
+	}
+	var ws []Window
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(s)
+		if fields[0] != "window" {
+			return nil, fmt.Errorf("telemetry: line %d: expected window, got %q", line, s)
+		}
+		var w Window
+		for _, f := range fields[1:] {
+			k, v, found := strings.Cut(f, "=")
+			if !found {
+				return nil, fmt.Errorf("telemetry: line %d: malformed field %q", line, f)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: field %q: %v", line, f, err)
+			}
+			switch k {
+			case "cap":
+				w.Capacity = int(n)
+			case "truncated":
+				w.Truncated = n != 0
+			default:
+				return nil, fmt.Errorf("telemetry: line %d: unknown window field %q", line, k)
+			}
+		}
+		s, ok = next()
+		if !ok || !strings.HasPrefix(s, "init") {
+			return nil, fmt.Errorf("telemetry: line %d: expected init line", line)
+		}
+		for _, f := range strings.Fields(s)[1:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: init value %q: %v", line, f, err)
+			}
+			w.Initial = append(w.Initial, v)
+		}
+		for {
+			s, ok = next()
+			if !ok {
+				return nil, fmt.Errorf("telemetry: line %d: unterminated window", line)
+			}
+			if s == "endwindow" {
+				break
+			}
+			e, err := parseEvent(s)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %v", line, err)
+			}
+			w.Events = append(w.Events, e)
+		}
+		ws = append(ws, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading dump: %v", err)
+	}
+	return ws, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	fields := strings.Fields(s)
+	if fields[0] != "op" {
+		return Event{}, fmt.Errorf("expected op, got %q", s)
+	}
+	var e Event
+	for _, f := range fields[1:] {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			return Event{}, fmt.Errorf("malformed field %q", f)
+		}
+		var err error
+		switch k {
+		case "t":
+			e.Thread, err = strconv.Atoi(v)
+		case "k":
+			e.Kind, err = parseKind(v)
+		case "arg":
+			e.Arg, err = strconv.ParseUint(v, 10, 64)
+		case "val":
+			e.Val, err = strconv.ParseUint(v, 10, 64)
+		case "res":
+			e.Res, err = parseRes(v)
+		case "inv":
+			e.Invoke, err = strconv.ParseUint(v, 10, 64)
+		case "resp":
+			e.Response, err = strconv.ParseUint(v, 10, 64)
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return Event{}, fmt.Errorf("field %q: %v", f, err)
+		}
+	}
+	return e, nil
+}
+
+func parseKind(s string) (hist.Kind, error) {
+	for _, k := range []hist.Kind{hist.PushLeft, hist.PushRight, hist.PopLeft, hist.PopRight} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op kind %q", s)
+}
+
+func parseRes(s string) (spec.Result, error) {
+	for _, r := range []spec.Result{spec.Okay, spec.Empty, spec.Full} {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown result %q", s)
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dcasdeque/internal/spec"
+	"dcasdeque/internal/verify/hist"
+)
+
+// record runs one sequential operation through the recorder.
+func record(r *FlightRecorder, t int, k hist.Kind, arg, val uint64, res spec.Result) {
+	inv := r.Begin()
+	r.End(t, k, arg, val, res, inv)
+}
+
+// TestFlightRoundTrip records a small linearizable history, dumps it,
+// parses the dump back, and replays it: the full post-mortem loop.
+func TestFlightRoundTrip(t *testing.T) {
+	r := NewFlightRecorder(2)
+	r.BeginWindow(4, []uint64{7})
+	record(r, 0, hist.PushRight, 1, 0, spec.Okay)
+	record(r, 1, hist.PopLeft, 0, 7, spec.Okay)
+	record(r, 0, hist.PopLeft, 0, 1, spec.Okay)
+	record(r, 1, hist.PopRight, 0, 0, spec.Empty)
+	w := r.EndWindow()
+	if len(w.Events) != 4 || w.Truncated {
+		t.Fatalf("window: %d events, truncated=%v", len(w.Events), w.Truncated)
+	}
+
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ParseDump(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseDump: %v\ndump:\n%s", err, b.String())
+	}
+	if len(ws) != 1 {
+		t.Fatalf("parsed %d windows, want 1", len(ws))
+	}
+	got := ws[0]
+	if got.Capacity != 4 || len(got.Initial) != 1 || got.Initial[0] != 7 {
+		t.Fatalf("window metadata = cap %d init %v", got.Capacity, got.Initial)
+	}
+	if len(got.Events) != len(w.Events) {
+		t.Fatalf("parsed %d events, want %d", len(got.Events), len(w.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != w.Events[i] {
+			t.Fatalf("event %d: parsed %+v, recorded %+v", i, got.Events[i], w.Events[i])
+		}
+	}
+
+	res, err := Replay(ws)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.Windows != 1 || res.Events != 4 {
+		t.Fatalf("ReplayResult = %+v", res)
+	}
+}
+
+// TestReplayRejectsOutOfOrder is the negative test the acceptance
+// criteria demand: a dump whose events cannot be linearized — a pop
+// returns a value whose push had not yet been invoked when the pop
+// responded — must be rejected by replay.
+func TestReplayRejectsOutOfOrder(t *testing.T) {
+	w := Window{
+		Capacity: 4,
+		Events: []Event{
+			// Pop of 9 completes strictly before the push of 9 begins: in
+			// the induced real-time order the pop precedes the push, so no
+			// linearization can produce 9 for it.
+			{Thread: 0, Kind: hist.PopRight, Val: 9, Res: spec.Okay, Invoke: 1, Response: 2},
+			{Thread: 1, Kind: hist.PushRight, Arg: 9, Res: spec.Okay, Invoke: 3, Response: 4},
+		},
+	}
+	res, err := Replay([]Window{w})
+	if err == nil {
+		t.Fatalf("Replay certified an out-of-order history: %+v", res)
+	}
+	re, ok := err.(*ReplayError)
+	if !ok {
+		t.Fatalf("Replay error type %T: %v", err, err)
+	}
+	if re.Window != 0 || !strings.Contains(re.Reason, "not linearizable") {
+		t.Fatalf("ReplayError = %+v", re)
+	}
+	if !strings.Contains(re.History, "popRight") {
+		t.Fatalf("ReplayError.History missing offending op:\n%s", re.History)
+	}
+}
+
+// TestReplayRejectsTruncated: an overflowed ring loses events, so the
+// window must be refused rather than mis-certified.
+func TestReplayRejectsTruncated(t *testing.T) {
+	r := NewFlightRecorderSized(1, 2, 4)
+	r.BeginWindow(spec.Unbounded, nil)
+	for i := uint64(1); i <= 5; i++ {
+		record(r, 0, hist.PushRight, i, 0, spec.Okay)
+	}
+	w := r.EndWindow()
+	if !w.Truncated {
+		t.Fatal("5 events through a 2-slot ring did not truncate")
+	}
+	if len(w.Events) != 2 {
+		t.Fatalf("truncated window kept %d events, want 2", len(w.Events))
+	}
+	// The survivors must be the most recent events, oldest first.
+	if w.Events[0].Arg != 4 || w.Events[1].Arg != 5 {
+		t.Fatalf("survivors = %d, %d; want 4, 5", w.Events[0].Arg, w.Events[1].Arg)
+	}
+	if _, err := Replay([]Window{w}); err == nil {
+		t.Fatal("Replay accepted a truncated window")
+	}
+	// And the truncation flag survives a dump/parse round trip.
+	var b strings.Builder
+	if err := WriteDump(&b, []Window{w}); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ParseDump(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || !ws[0].Truncated {
+		t.Fatalf("parsed windows = %+v, want one truncated", ws)
+	}
+}
+
+// TestFlightWindowRetention: the recorder keeps only the newest windows.
+func TestFlightWindowRetention(t *testing.T) {
+	r := NewFlightRecorderSized(1, 8, 2)
+	for i := 0; i < 4; i++ {
+		r.BeginWindow(i, nil)
+		record(r, 0, hist.PushLeft, uint64(i), 0, spec.Okay)
+		r.EndWindow()
+	}
+	ws := r.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("retained %d windows, want 2", len(ws))
+	}
+	if ws[0].Capacity != 2 || ws[1].Capacity != 3 {
+		t.Fatalf("retained capacities %d, %d; want 2, 3", ws[0].Capacity, ws[1].Capacity)
+	}
+	last, ok := r.LastWindow()
+	if !ok || last.Capacity != 3 {
+		t.Fatalf("LastWindow = %+v, %v", last, ok)
+	}
+}
+
+// TestFlightConcurrentThreads drives the recorder from its intended
+// concurrent shape — one goroutine per thread slot — and replays the
+// result.  Each thread pushes then pops its own distinct values on its
+// own end, which is linearizable regardless of interleaving.
+func TestFlightConcurrentThreads(t *testing.T) {
+	const threads = 4
+	r := NewFlightRecorder(threads)
+	r.BeginWindow(spec.Unbounded, nil)
+	var mu sync.Mutex // serializes the model deque standing in for a real one
+	model := []uint64{}
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			base := uint64(th*100 + 1)
+			for i := uint64(0); i < 4; i++ {
+				inv := r.Begin()
+				mu.Lock()
+				model = append(model, base+i)
+				mu.Unlock()
+				r.End(th, hist.PushRight, base+i, 0, spec.Okay, inv)
+			}
+			for i := 0; i < 4; i++ {
+				inv := r.Begin()
+				mu.Lock()
+				v := model[len(model)-1]
+				model = model[:len(model)-1]
+				mu.Unlock()
+				r.End(th, hist.PopRight, 0, v, spec.Okay, inv)
+			}
+		}(th)
+	}
+	wg.Wait()
+	w := r.EndWindow()
+	if len(w.Events) != threads*8 {
+		t.Fatalf("recorded %d events, want %d", len(w.Events), threads*8)
+	}
+	if _, err := Replay([]Window{w}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+}
+
+// TestParseDumpErrors: malformed dumps produce errors, not garbage
+// windows.
+func TestParseDumpErrors(t *testing.T) {
+	for _, c := range []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "flight v0\n"},
+		{"unterminated", "dcasdeque-flight v1\nwindow cap=1 truncated=0\ninit\nop t=0 k=pushLeft arg=1 val=0 res=okay inv=1 resp=2\n"},
+		{"bad kind", "dcasdeque-flight v1\nwindow cap=1 truncated=0\ninit\nop t=0 k=shove arg=1 val=0 res=okay inv=1 resp=2\nendwindow\n"},
+		{"bad result", "dcasdeque-flight v1\nwindow cap=1 truncated=0\ninit\nop t=0 k=pushLeft arg=1 val=0 res=meh inv=1 resp=2\nendwindow\n"},
+		{"bad init", "dcasdeque-flight v1\nwindow cap=1 truncated=0\ninit x\nendwindow\n"},
+		{"bad window field", "dcasdeque-flight v1\nwindow cap=1 zorp=0\ninit\nendwindow\n"},
+	} {
+		if _, err := ParseDump(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: ParseDump accepted malformed input", c.name)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"dcasdeque/internal/spec"
+	"dcasdeque/internal/telemetry"
 	"dcasdeque/internal/verify/hist"
 	"dcasdeque/internal/verify/linearize"
 )
@@ -42,6 +43,12 @@ type Config struct {
 	// PushBias, in percent, is the probability that a generated operation
 	// is a push (default 50).
 	PushBias int
+	// Recorder, when non-nil, additionally records every operation into
+	// the flight recorder — one recorder window per stress window, with
+	// the window's capacity and initial contents — so the run leaves a
+	// dump that telemetry.Replay can re-certify offline.  The recorder
+	// must have been sized for at least Threads threads.
+	Recorder *telemetry.FlightRecorder
 }
 
 // Stats summarizes a successful run.
@@ -63,6 +70,10 @@ func Run(d Deque, cfg Config) (Stats, error) {
 	}
 	if cfg.PushBias == 0 {
 		cfg.PushBias = 50
+	}
+	if cfg.Recorder != nil && cfg.Recorder.Threads() < cfg.Threads {
+		return Stats{}, fmt.Errorf("stress: recorder sized for %d threads, need %d",
+			cfg.Recorder.Threads(), cfg.Threads)
 	}
 	rec := hist.NewRecorder(cfg.Threads)
 	nextVal := uint64(1000) // distinct, above the list deque's reserved words
@@ -102,6 +113,9 @@ func Run(d Deque, cfg Config) (Stats, error) {
 			}
 		}
 
+		if cfg.Recorder != nil {
+			cfg.Recorder.BeginWindow(cfg.Capacity, initial)
+		}
 		var wg sync.WaitGroup
 		for t := 0; t < cfg.Threads; t++ {
 			wg.Add(1)
@@ -109,6 +123,10 @@ func Run(d Deque, cfg Config) (Stats, error) {
 				defer wg.Done()
 				for i, k := range progs[t] {
 					inv := rec.Begin()
+					var finv uint64
+					if cfg.Recorder != nil {
+						finv = cfg.Recorder.Begin()
+					}
 					var val uint64
 					var res spec.Result
 					switch k {
@@ -122,10 +140,16 @@ func Run(d Deque, cfg Config) (Stats, error) {
 						val, res = d.PopRight()
 					}
 					rec.End(t, k, args[t][i], val, res, inv)
+					if cfg.Recorder != nil {
+						cfg.Recorder.End(t, k, args[t][i], val, res, finv)
+					}
 				}
 			}(t)
 		}
 		wg.Wait()
+		if cfg.Recorder != nil {
+			cfg.Recorder.EndWindow()
+		}
 
 		ops := rec.Ops()
 		res, err := linearize.Check(ops, cfg.Capacity, initial)

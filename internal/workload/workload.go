@@ -6,15 +6,29 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/spec"
 )
+
+// labeled runs f on the current goroutine under pprof labels identifying
+// the workload kind and worker index, so CPU and goroutine profiles of a
+// run can be sliced per worker ("which worker burned the backoff time?")
+// without any change to the profiled code.
+func labeled(kind string, w int, f func()) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"dcasdeque_workload", kind,
+		"dcasdeque_worker", strconv.Itoa(w),
+	), func(context.Context) { f() })
+}
 
 // Deque is the word-level deque vocabulary implemented by both core
 // algorithms and the comparable baselines.
@@ -98,41 +112,43 @@ func RunMix(d Deque, cfg MixConfig) (MixResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Counters live in locals for the duration of the loop: a write
-			// into the shared results slice on every operation would both
-			// cost a store on the measured path and false-share counter
-			// cache lines between workers.
-			var c counts
-			base := uint64(w+1) << 32
-			for i, op := range progs[w] {
-				switch op {
-				case 0:
-					if d.PushLeft(base+uint64(i)) == spec.Okay {
-						c.pushed++
-					} else {
-						c.full++
-					}
-				case 1:
-					if d.PushRight(base+uint64(i)) == spec.Okay {
-						c.pushed++
-					} else {
-						c.full++
-					}
-				case 2:
-					if _, r := d.PopLeft(); r == spec.Okay {
-						c.popped++
-					} else {
-						c.empty++
-					}
-				default:
-					if _, r := d.PopRight(); r == spec.Okay {
-						c.popped++
-					} else {
-						c.empty++
+			labeled("mix", w, func() {
+				// Counters live in locals for the duration of the loop: a write
+				// into the shared results slice on every operation would both
+				// cost a store on the measured path and false-share counter
+				// cache lines between workers.
+				var c counts
+				base := uint64(w+1) << 32
+				for i, op := range progs[w] {
+					switch op {
+					case 0:
+						if d.PushLeft(base+uint64(i)) == spec.Okay {
+							c.pushed++
+						} else {
+							c.full++
+						}
+					case 1:
+						if d.PushRight(base+uint64(i)) == spec.Okay {
+							c.pushed++
+						} else {
+							c.full++
+						}
+					case 2:
+						if _, r := d.PopLeft(); r == spec.Okay {
+							c.popped++
+						} else {
+							c.empty++
+						}
+					default:
+						if _, r := d.PopRight(); r == spec.Okay {
+							c.popped++
+						} else {
+							c.empty++
+						}
 					}
 				}
-			}
-			results[w] = c
+				results[w] = c
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -211,54 +227,56 @@ func RunSteal(mk func() Deque, cfg StealConfig) (StealResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)))
-			my := deques[w]
-			c := &results[w]
-			for {
-				// Own work first (right end), else steal (left end).
-				t, r := my.PopRight()
-				if r != spec.Okay {
-					if loadInt64(pendingAddr) == 0 {
-						return
-					}
-					victim := rng.IntN(cfg.Workers)
-					if victim == w {
-						runtime.Gosched()
-						continue
-					}
-					t, r = deques[victim].PopLeft()
+			labeled("steal", w, func() {
+				rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)))
+				my := deques[w]
+				c := &results[w]
+				for {
+					// Own work first (right end), else steal (left end).
+					t, r := my.PopRight()
 					if r != spec.Okay {
-						runtime.Gosched()
+						if loadInt64(pendingAddr) == 0 {
+							return
+						}
+						victim := rng.IntN(cfg.Workers)
+						if victim == w {
+							runtime.Gosched()
+							continue
+						}
+						t, r = deques[victim].PopLeft()
+						if r != spec.Okay {
+							runtime.Gosched()
+							continue
+						}
+						c.steals++
+					}
+					d := taskDepth(t)
+					if d == 0 {
+						c.leaves++
+						addInt64(pendingAddr, -1)
 						continue
 					}
-					c.steals++
-				}
-				d := taskDepth(t)
-				if d == 0 {
-					c.leaves++
-					addInt64(pendingAddr, -1)
-					continue
-				}
-				id := taskID(t)
-				// Split: push one child, keep executing the other by
-				// pushing both and looping (children replace the parent).
-				child1 := mkTask(2*id, d-1)
-				child2 := mkTask(2*id+1, d-1)
-				addInt64(pendingAddr, 2)
-				for my.PushRight(child1) != spec.Okay {
-					// Deque full: execute a task from our own right end
-					// inline to make room, as a real scheduler would.
-					if t2, r2 := my.PopRight(); r2 == spec.Okay {
-						execInline(t2, c, pendingAddr)
+					id := taskID(t)
+					// Split: push one child, keep executing the other by
+					// pushing both and looping (children replace the parent).
+					child1 := mkTask(2*id, d-1)
+					child2 := mkTask(2*id+1, d-1)
+					addInt64(pendingAddr, 2)
+					for my.PushRight(child1) != spec.Okay {
+						// Deque full: execute a task from our own right end
+						// inline to make room, as a real scheduler would.
+						if t2, r2 := my.PopRight(); r2 == spec.Okay {
+							execInline(t2, c, pendingAddr)
+						}
 					}
-				}
-				for my.PushRight(child2) != spec.Okay {
-					if t2, r2 := my.PopRight(); r2 == spec.Okay {
-						execInline(t2, c, pendingAddr)
+					for my.PushRight(child2) != spec.Okay {
+						if t2, r2 := my.PopRight(); r2 == spec.Okay {
+							execInline(t2, c, pendingAddr)
+						}
 					}
+					addInt64(pendingAddr, -1) // parent consumed
 				}
-				addInt64(pendingAddr, -1) // parent consumed
-			}
+			})
 		}(w)
 	}
 	wg.Wait()

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race check
+.PHONY: all build lint test race check sched-stress sched-bench
 
 all: check
 
@@ -20,5 +20,15 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# Randomized scheduler stress certification (bounded; CI runs 300
+# race-instrumented, the full certification is -sched-runs 10000).
+sched-stress:
+	$(GO) run -race ./cmd/dequestress -sched -sched-runs 300
+
+# Scheduler throughput benchmark: workloads × deque backends × worker
+# counts, written to BENCH_PR5.json.
+sched-bench:
+	$(GO) run ./cmd/dequebench -exp sched -workers 1,2,4,8 -json BENCH_PR5.json
 
 check: build lint test race

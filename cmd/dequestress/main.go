@@ -7,6 +7,7 @@
 //	dequestress [-impl array|list|greenwald|mutex|all] [-seconds 10]
 //	            [-threads 3] [-ops 4] [-capacity 4] [-seed 1]
 //	            [-flight dump.flight] [-watch]
+//	dequestress -sched [-sched-runs 10000]   (scheduler mode; see sched.go)
 //
 // Every run records its operations in a flight recorder.  When a window
 // fails the linearizability check, the recorder's retained windows are
@@ -150,6 +151,9 @@ func certify(fr *telemetry.FlightRecorder, path string) error {
 
 func main() {
 	flag.Parse()
+	if *schedFlag {
+		os.Exit(schedStress())
+	}
 	failed := false
 	for _, t := range targets() {
 		if *implFlag != "all" && *implFlag != t.name {

@@ -1,0 +1,83 @@
+package deque
+
+import "dcasdeque/internal/telemetry"
+
+// popManyChunk bounds the handle buffer a batch pop allocates, so a
+// caller passing a huge max (e.g. "drain everything") does not force a
+// proportionally huge allocation; the drain loops in chunks instead.
+const popManyChunk = 256
+
+// popMany implements the PopLMany/PopRMany contract over a core-level
+// batch pop and the implementation's unboxer: transfer up to max
+// handles, unbox each, stop early at empty.
+func popMany[T any](max int, pop func([]uint64) int, unbox func(uint64) T) []T {
+	if max <= 0 {
+		return nil
+	}
+	var out []T
+	buf := make([]uint64, min(max, popManyChunk))
+	for len(out) < max {
+		want := min(max-len(out), len(buf))
+		n := pop(buf[:want])
+		if n == 0 {
+			break
+		}
+		if out == nil {
+			out = make([]T, 0, n)
+		}
+		for _, h := range buf[:n] {
+			out = append(out, unbox(h))
+		}
+		if n < want {
+			break // the deque went empty mid-chunk
+		}
+	}
+	return out
+}
+
+// PopLMany implements Deque.
+func (d *Array[T]) PopLMany(max int) []T {
+	return popMany(max, d.core.PopLeftMany, d.unbox)
+}
+
+// PopRMany implements Deque.
+func (d *Array[T]) PopRMany(max int) []T {
+	return popMany(max, d.core.PopRightMany, d.unbox)
+}
+
+// PopLMany implements Deque.
+func (d *List[T]) PopLMany(max int) []T {
+	return popMany(max, d.core.PopLeftMany, d.unbox)
+}
+
+// PopRMany implements Deque.
+func (d *List[T]) PopRMany(max int) []T {
+	return popMany(max, d.core.PopRightMany, d.unbox)
+}
+
+// PopLMany implements Deque.  The mutex baseline takes the lock once
+// per chunk rather than once per element; telemetry is likewise batched
+// (one Add per chunk covering n pops).
+func (d *Mutex[T]) PopLMany(max int) []T {
+	return popMany(max, d.batched(telemetry.Left, d.core.PopLeftMany), d.unbox)
+}
+
+// PopRMany implements Deque.
+func (d *Mutex[T]) PopRMany(max int) []T {
+	return popMany(max, d.batched(telemetry.Right, d.core.PopRightMany), d.unbox)
+}
+
+// batched wraps a core batch pop so each chunk's pop count lands in the
+// telemetry sink with a single Add.
+func (d *Mutex[T]) batched(end telemetry.End, pop func([]uint64) int) func([]uint64) int {
+	if d.inst == nil {
+		return pop
+	}
+	return func(out []uint64) int {
+		n := pop(out)
+		if n > 0 {
+			d.inst.sink.Add(end, telemetry.Pops, uint64(n))
+		}
+		return n
+	}
+}

@@ -1,0 +1,213 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+)
+
+// batchTargets builds one deque per implementation/variant for the
+// batch-pop tests, telemetry enabled so batched counting is exercised.
+func batchTargets(t *testing.T) map[string]Deque[int] {
+	t.Helper()
+	return map[string]Deque[int]{
+		"array":      NewArray[int](1024, WithTelemetry()),
+		"list":       NewList[int](WithTelemetry()),
+		"list-dummy": NewList[int](WithDummyNodes(), WithTelemetry()),
+		"list-lfrc":  NewList[int](WithLFRC(), WithTelemetry()),
+		"mutex":      NewMutex[int](1024, WithTelemetry()),
+	}
+}
+
+func TestPopLManyOrder(t *testing.T) {
+	for name, d := range batchTargets(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 10; i++ {
+				if err := d.PushRight(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := d.PopLMany(4)
+			if want := []int{0, 1, 2, 3}; !equal(got, want) {
+				t.Fatalf("PopLMany(4) = %v, want %v", got, want)
+			}
+			// Remaining elements still pop in order from either end.
+			if v, err := d.PopLeft(); err != nil || v != 4 {
+				t.Fatalf("PopLeft after batch = %d, %v; want 4", v, err)
+			}
+			if v, err := d.PopRight(); err != nil || v != 9 {
+				t.Fatalf("PopRight after batch = %d, %v; want 9", v, err)
+			}
+		})
+	}
+}
+
+func TestPopRManyOrder(t *testing.T) {
+	for name, d := range batchTargets(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 10; i++ {
+				if err := d.PushRight(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := d.PopRMany(4)
+			if want := []int{9, 8, 7, 6}; !equal(got, want) {
+				t.Fatalf("PopRMany(4) = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestPopManyShortAndEmpty(t *testing.T) {
+	for name, d := range batchTargets(t) {
+		t.Run(name, func(t *testing.T) {
+			if got := d.PopLMany(8); got != nil {
+				t.Fatalf("PopLMany on empty = %v, want nil", got)
+			}
+			if got := d.PopRMany(8); got != nil {
+				t.Fatalf("PopRMany on empty = %v, want nil", got)
+			}
+			if got := d.PopLMany(0); got != nil {
+				t.Fatalf("PopLMany(0) = %v, want nil", got)
+			}
+			if got := d.PopLMany(-3); got != nil {
+				t.Fatalf("PopLMany(-3) = %v, want nil", got)
+			}
+			for i := 0; i < 3; i++ {
+				if err := d.PushLeft(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// max beyond the population: return what is there, stop at empty.
+			if got, want := d.PopRMany(100), []int{0, 1, 2}; !equal(got, want) {
+				t.Fatalf("PopRMany(100) = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestPopManyBeyondChunk drains a population larger than the internal
+// chunk buffer in one call, covering the chunked-refill path.
+func TestPopManyBeyondChunk(t *testing.T) {
+	const n = popManyChunk*2 + 17
+	for name, d := range map[string]Deque[int]{
+		"list":  NewList[int](),
+		"mutex": NewMutex[int](n, WithTelemetry()),
+	} {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < n; i++ {
+				if err := d.PushRight(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := d.PopLMany(n)
+			if len(got) != n {
+				t.Fatalf("PopLMany(%d) returned %d elements", n, len(got))
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("got[%d] = %d, want %d", i, v, i)
+				}
+			}
+		})
+	}
+}
+
+// TestPopManyConcurrent races a batch-stealing thief against an owner
+// pushing and popping its own right end; every pushed value must be
+// consumed exactly once between the two.
+func TestPopManyConcurrent(t *testing.T) {
+	for name, d := range batchTargets(t) {
+		t.Run(name, func(t *testing.T) {
+			const total = 20000
+			seen := make([]int32, total)
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { // owner: push all, pop some of its own
+				defer wg.Done()
+				for i := 0; i < total; i++ {
+					for d.PushRight(i) != nil {
+						// Full (the thief may already be done): make room
+						// by consuming own work instead of spinning.
+						if v, err := d.PopRight(); err == nil {
+							seen[v]++
+						}
+					}
+					if i%3 == 0 {
+						if v, err := d.PopRight(); err == nil {
+							seen[v]++
+						}
+					}
+				}
+			}()
+			var stolen []int
+			go func() { // thief: batch-steal from the left
+				defer wg.Done()
+				for i := 0; i < total; i++ {
+					stolen = append(stolen, d.PopLMany(1+i%7)...)
+				}
+			}()
+			wg.Wait()
+			for _, v := range stolen {
+				seen[v]++
+			}
+			for len(stolen) < total { // drain the remainder
+				rest := d.PopLMany(64)
+				if rest == nil {
+					break
+				}
+				stolen = append(stolen, rest...)
+				for _, v := range rest {
+					seen[v]++
+				}
+			}
+			// Conservation: every value consumed exactly once overall.
+			var consumed int
+			for v, c := range seen {
+				if c > 1 {
+					t.Fatalf("value %d consumed %d times", v, c)
+				}
+				consumed += int(c)
+			}
+			rem, err := itemsOf(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consumed+len(rem) != total {
+				t.Fatalf("conservation: consumed %d + remaining %d ≠ %d",
+					consumed, len(rem), total)
+			}
+		})
+	}
+}
+
+// itemsOf snapshots a deque's contents via the concrete Items method.
+func itemsOf(d Deque[int]) ([]int, error) {
+	switch v := d.(type) {
+	case *Array[int]:
+		return v.Items()
+	case *List[int]:
+		return v.Items()
+	case *Mutex[int]:
+		out := []int{}
+		for {
+			batch := v.PopLMany(64)
+			if batch == nil {
+				return out, nil
+			}
+			out = append(out, batch...)
+		}
+	}
+	return nil, nil
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

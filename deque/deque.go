@@ -58,6 +58,16 @@ type Deque[T any] interface {
 	// PopRight removes and returns the rightmost element; it returns
 	// ErrEmpty if the deque is empty.
 	PopRight() (T, error)
+	// PopLMany removes up to max elements from the left end and returns
+	// them in pop order (leftmost first); nil when the deque is empty or
+	// max ≤ 0.  The batch is a sequence of independent PopLeft
+	// operations — not an atomic multi-pop — that pays the wrapper,
+	// dispatch and telemetry costs once per call instead of once per
+	// element.  Work-stealing thieves use it to take several tasks from
+	// a victim in one call.
+	PopLMany(max int) []T
+	// PopRMany is PopLMany for the right end (rightmost first).
+	PopRMany(max int) []T
 }
 
 // Option configures a deque constructor.

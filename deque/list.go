@@ -15,6 +15,8 @@ type listCore interface {
 	PushRight(v uint64) spec.Result
 	PopLeft() (uint64, spec.Result)
 	PopRight() (uint64, spec.Result)
+	PopLeftMany(out []uint64) int
+	PopRightMany(out []uint64) int
 	Items() ([]uint64, error)
 }
 

@@ -1,225 +1,177 @@
-// Worksteal: a miniature work-stealing scheduler built on the public
-// deque API — the application that motivates the paper ("deques ...
+// Worksteal: the application that motivates the paper ("deques ...
 // currently used in load balancing algorithms [4]", after Arora, Blumofe
-// and Plaxton).
+// and Plaxton) — now a thin demo of package sched, the work-stealing
+// executor built on the DCAS deques.
 //
-// Each worker owns a deque of tasks.  A worker treats its own deque as a
+// Each worker owns a deque of tasks: the owner treats its own deque as a
 // LIFO stack on the right end (good locality: the most recently spawned —
-// smallest, hottest — task runs first) while idle workers steal from the
-// left end of a victim's deque (taking the oldest — largest — task,
-// minimizing steal frequency).  Unlike the specialized ABP deque, the
-// DCAS deque permits this with no owner restrictions: any worker may
-// operate on any deque from either end.
+// smallest, hottest — task runs first) while idle workers steal batches
+// from the left end of a victim's deque (taking the oldest — largest —
+// tasks, minimizing steal frequency).  Unlike the specialized ABP deque,
+// the DCAS deque permits this with no owner restrictions.  All of that
+// machinery — victim selection, batched stealing, spin/yield/park — lives
+// in package sched; this example only submits work and reads counters.
 //
 // The computation is a parallel recursive sum over a synthetic binary
 // tree; the result is checked against the closed form.
 //
-// Each deque runs with telemetry enabled and registered with the
-// process-wide exporter, so the run doubles as an end-to-end smoke test
-// of the observability layer: on exit it prints each worker's per-end
-// counters (steals show up as left-end pops on the victim's deque) and
-// probes the HTTP exporter for the same numbers.
+// The scheduler and each worker deque run with telemetry enabled and
+// registered with the process-wide exporter, so the run doubles as an
+// end-to-end smoke test of the observability layer: on exit it prints the
+// scheduler's per-worker counters, each deque's per-end counters (steals
+// show up as left-end pops on the victim's deque), and probes the HTTP
+// exporter for the same numbers.
 //
 // Run with: go run ./examples/worksteal [-workers 4] [-depth 18]
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dcasdeque/deque"
+	"dcasdeque/sched"
 )
-
-// task is a subtree to sum: a node index in an implicit perfect binary
-// tree plus the remaining depth below it.
-type task struct {
-	node  uint64
-	depth int
-}
 
 var (
 	workersFlag = flag.Int("workers", 4, "number of workers")
 	depthFlag   = flag.Int("depth", 18, "task-tree depth (2^depth leaves)")
 )
 
-// Shared scheduler state.
-var (
-	sum     atomic.Uint64 // Σ leaf values
-	pending atomic.Int64  // tasks not yet fully processed
-	steals  atomic.Uint64
-)
+var sum atomic.Uint64 // Σ leaf values
 
 func main() {
 	flag.Parse()
 	nWorkers := *workersFlag
 	depth := *depthFlag
 
-	// One bounded deque per worker.  Capacity is comfortable: a worker's
-	// own stack depth is at most the tree depth, plus stolen surplus.
-	deques := make([]*deque.Array[task], nWorkers)
-	for i := range deques {
-		deques[i] = deque.NewArray[task](1024,
-			deque.WithTelemetryName(fmt.Sprintf("worker%d", i)))
-	}
-	if err := deques[0].PushRight(task{node: 1, depth: depth}); err != nil {
-		log.Fatal(err)
-	}
+	// One telemetry-named deque per worker, kept aside so the per-end
+	// counters can be printed after the run.  Capacity is comfortable: a
+	// worker's own stack depth is at most the tree depth, plus stolen
+	// surplus; overflow falls back to the injector and inline execution.
+	deques := make([]*deque.Array[sched.Task], nWorkers)
+	s := sched.New(
+		sched.WithWorkers(nWorkers),
+		sched.WithDeques(func(id int) deque.Deque[sched.Task] {
+			d := deque.NewArray[sched.Task](1024,
+				deque.WithTelemetryName(fmt.Sprintf("worker%d", id)))
+			deques[id] = d
+			return d
+		}),
+		sched.WithTelemetryName("worksteal"),
+	)
 
-	pending.Store(1)
-
+	// sumTree sums the subtree rooted at node with the given remaining
+	// depth; leafValue(n) = n.
 	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < nWorkers; w++ {
-		wg.Add(1)
-		go func(w int) {
+	var sumTree func(node uint64, depth int) sched.Task
+	sumTree = func(node uint64, depth int) sched.Task {
+		return func(w *sched.Worker) {
 			defer wg.Done()
-			rng := rand.New(rand.NewPCG(uint64(w), 0xdeca5))
-			my := deques[w]
-			for {
-				// Own work first: LIFO from the right.
-				t, err := my.PopRight()
-				if err != nil {
-					if pending.Load() == 0 {
-						return // global quiescence: all tasks done
-					}
-					// Steal: FIFO from the left of a random victim.
-					victim := rng.IntN(nWorkers)
-					if victim == w {
-						runtime.Gosched()
-						continue
-					}
-					t, err = deques[victim].PopLeft()
-					if err != nil {
-						runtime.Gosched()
-						continue
-					}
-					steals.Add(1)
-				}
-				if t.depth == 0 {
-					// Leaf: "execute" it (here: add its value).
-					sum.Add(leafValue(t.node))
-					pending.Add(-1)
-					continue
-				}
-				// Interior node: spawn both children.
-				pending.Add(2)
-				spawn(my, task{node: 2 * t.node, depth: t.depth - 1})
-				spawn(my, task{node: 2*t.node + 1, depth: t.depth - 1})
-				pending.Add(-1)
+			if depth == 0 {
+				sum.Add(node)
+				return
 			}
-		}(w)
+			wg.Add(2)
+			w.Spawn(sumTree(2*node, depth-1))
+			w.Spawn(sumTree(2*node+1, depth-1))
+		}
+	}
+
+	start := time.Now()
+	wg.Add(1)
+	if err := s.Submit(sumTree(1, depth)); err != nil {
+		log.Fatal(err)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	leaves := uint64(1) << uint(depth)
+	tasks := 2*leaves - 1
 	// Leaves occupy node indices [2^depth, 2^(depth+1)); leafValue(n) = n,
 	// so the expected sum is the arithmetic series over that range:
 	// leaves·(3·leaves−1)/2.
 	want := leaves * (3*leaves - 1) / 2
 	fmt.Printf("workers=%d depth=%d leaves=%d\n", nWorkers, depth, leaves)
 	fmt.Printf("sum=%d (expected %d, %s)\n", sum.Load(), want, okStr(sum.Load() == want))
-	fmt.Printf("steals=%d elapsed=%v (%.0f tasks/s)\n",
-		steals.Load(), elapsed.Round(time.Millisecond),
-		float64(2*leaves-1)/elapsed.Seconds())
 	if sum.Load() != want {
 		log.Fatal("result mismatch")
 	}
-	printTelemetry(deques)
+
+	st, ok := s.Stats()
+	if !ok {
+		log.Fatal("telemetry not enabled") // WithTelemetryName above enables it
+	}
+	fmt.Printf("tasks=%d (scheduler ran %d, %s) elapsed=%v (%.0f tasks/s)\n",
+		tasks, st.Total.Runs, okStr(st.Total.Runs == tasks),
+		elapsed.Round(time.Millisecond), float64(tasks)/elapsed.Seconds())
+	if st.Total.Runs != tasks {
+		log.Fatal("task-count mismatch")
+	}
+	printTelemetry(st, deques)
+
+	// The exporter probe must precede Shutdown: draining unregisters the
+	// scheduler's entry.
+	probeExporter(st, deques)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
 }
 
-// printTelemetry reports each worker deque's counters and cross-checks
-// one of them against the HTTP exporter.  Owners work the right end and
-// thieves the left, so a deque's Left.Pops is the number of times it was
-// stolen from.
-func printTelemetry(deques []*deque.Array[task]) {
+// printTelemetry reports the scheduler's per-worker counters next to each
+// worker deque's per-end counters.  Owners work the right end and thieves
+// the left, so a deque's Left.Pops is the number of times it was stolen
+// from.
+func printTelemetry(st sched.Stats, deques []*deque.Array[sched.Task]) {
 	fmt.Println("\ntelemetry (right = owner end, left = thief end):")
-	fmt.Printf("%-10s %10s %10s %10s %10s %10s %12s\n",
-		"deque", "pushesR", "popsR", "emptyR", "stolenL", "retries", "dcas-failed")
-	var agg deque.Stats
+	fmt.Printf("%-10s %10s %8s %8s %8s %10s %10s %10s %12s\n",
+		"worker", "runs", "steals", "stolen", "parks", "pushesR", "popsR", "stolenL", "dcas-failed")
+	var stolen uint64
 	for i, d := range deques {
-		st, ok := d.Stats()
+		ds, ok := d.Stats()
 		if !ok {
-			log.Fatal("telemetry not enabled") // NewArray above always enables it
+			log.Fatal("deque telemetry not enabled")
 		}
-		fmt.Printf("worker%-4d %10d %10d %10d %10d %10d %12d\n", i,
-			st.Right.Pushes, st.Right.Pops, st.Right.EmptyHits,
-			st.Left.Pops, st.Left.Retries+st.Right.Retries, st.DCAS.Failures)
-		agg.Right.Pushes += st.Right.Pushes
-		agg.Right.Pops += st.Right.Pops
-		agg.Left.Pops += st.Left.Pops
-		agg.DCAS.Attempts += st.DCAS.Attempts
-		agg.DCAS.Failures += st.DCAS.Failures
+		w := st.Workers[i]
+		fmt.Printf("worker%-4d %10d %8d %8d %8d %10d %10d %10d %12d\n", i,
+			w.Runs, w.Steals, w.Stolen, w.Parks,
+			ds.Right.Pushes, ds.Right.Pops, ds.Left.Pops, ds.DCAS.Failures)
+		stolen += ds.Left.Pops
 	}
-	fmt.Printf("total: pushes=%d pops=%d stolen=%d dcas=%d (%d failed)\n",
-		agg.Right.Pushes, agg.Right.Pops+agg.Left.Pops, agg.Left.Pops,
-		agg.DCAS.Attempts, agg.DCAS.Failures)
+	fmt.Printf("total: runs=%d spawns=%d steals=%d stolen=%d (deque-observed %d) parks=%d wakes=%d\n",
+		st.Total.Runs, st.Total.Spawns, st.Total.Steals, st.Total.Stolen,
+		stolen, st.Total.Parks, st.Total.Wakes)
+}
 
-	// Exporter smoke test: the registered names must be visible through
-	// the HTTP endpoint with the same totals the snapshots reported.
+// probeExporter checks that both the scheduler's counters and the worker
+// deques' counters are visible through the HTTP endpoint with the same
+// totals the snapshots reported.
+func probeExporter(st sched.Stats, deques []*deque.Array[sched.Task]) {
 	rr := httptest.NewRecorder()
 	deque.TelemetryHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/telemetry", nil))
-	wantLine := fmt.Sprintf("worker0.right.pushes %d", mustStats(deques[0]).Right.Pushes)
-	if !strings.Contains(rr.Body.String(), wantLine) {
-		log.Fatalf("exporter missing %q in:\n%s", wantLine, rr.Body.String())
-	}
-	fmt.Printf("exporter: %d counters served, %q verified\n",
-		strings.Count(rr.Body.String(), "\n"), wantLine)
-}
-
-func mustStats(d *deque.Array[task]) deque.Stats {
-	st, ok := d.Stats()
-	if !ok {
-		log.Fatal("telemetry not enabled")
-	}
-	return st
-}
-
-// spawn pushes a task onto the worker's own right end; if the deque is
-// momentarily full it executes older local work inline to make room.
-func spawn(my *deque.Array[task], t task) {
-	for {
-		err := my.PushRight(t)
-		if err == nil {
-			return
+	body := rr.Body.String()
+	ds, _ := deques[0].Stats()
+	for _, wantLine := range []string{
+		fmt.Sprintf("worksteal.sched.runs %d", st.Total.Runs),
+		fmt.Sprintf("worker0.right.pushes %d", ds.Right.Pushes),
+	} {
+		if !strings.Contains(body, wantLine) {
+			log.Fatalf("exporter missing %q in:\n%s", wantLine, body)
 		}
-		if !errors.Is(err, deque.ErrFull) {
-			log.Fatal(err)
-		}
-		// Full: run one of our own tasks inline (a real scheduler's
-		// standard overflow response), then retry.
-		if t2, err := my.PopRight(); err == nil {
-			execInline(my, t2)
-		}
+		fmt.Printf("exporter: %q verified\n", wantLine)
 	}
+	fmt.Printf("exporter: %d counters served\n", strings.Count(body, "\n"))
 }
-
-// execInline evaluates a whole subtree without using the deque.
-func execInline(my *deque.Array[task], t task) {
-	// Inline execution is rare, and recursion depth is bounded by the
-	// remaining tree depth.
-	if t.depth == 0 {
-		sum.Add(leafValue(t.node))
-		pending.Add(-1)
-		return
-	}
-	pending.Add(2)
-	execInline(my, task{node: 2 * t.node, depth: t.depth - 1})
-	execInline(my, task{node: 2*t.node + 1, depth: t.depth - 1})
-	pending.Add(-1)
-}
-
-// leafValue is the synthetic "work" of a leaf task.
-func leafValue(node uint64) uint64 { return node }
 
 func okStr(ok bool) string {
 	if ok {

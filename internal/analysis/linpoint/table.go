@@ -37,6 +37,12 @@ var DefaultTable = map[string][]Obligation{
 		{Func: "Deque.PushRight", Points: 7, Paper: "Fig 3, §5.1"},
 		{Func: "Deque.PopLeft", Points: 7, Paper: "Fig 30, §5.1"},
 		{Func: "Deque.PushLeft", Points: 7, Paper: "Fig 31, §5.1"},
+
+		// Batch pops are sequences of the single pops above; each value
+		// linearizes inside the pop that took it, and a zero obligation
+		// machine-checks that the batch wrapper adds no commit sites.
+		{Func: "Deque.PopLeftMany", Points: 0, Paper: "batch of Fig 30 pops"},
+		{Func: "Deque.PopRightMany", Points: 0, Paper: "batch of Fig 2 pops"},
 	},
 	"dcasdeque/internal/core/listdeque": {
 		{Func: "Deque.PopRight", Points: 2, Paper: "Fig 18, §5.2"},
@@ -53,5 +59,14 @@ var DefaultTable = map[string][]Obligation{
 		{Func: "LFRCDeque.PushRight", Points: 1, Paper: "Fig 25, §5.2"},
 		{Func: "LFRCDeque.PopLeft", Points: 2, Paper: "Fig 24 mirrored, §5.2"},
 		{Func: "LFRCDeque.PushLeft", Points: 1, Paper: "Fig 25 mirrored, §5.2"},
+
+		// Batch pops: sequences of the single pops above, obligated to
+		// zero commit sites of their own (see the arraydeque entries).
+		{Func: "Deque.PopLeftMany", Points: 0, Paper: "batch of Fig 18 pops"},
+		{Func: "Deque.PopRightMany", Points: 0, Paper: "batch of Fig 18 pops"},
+		{Func: "DummyDeque.PopLeftMany", Points: 0, Paper: "batch of Fig 22 pops"},
+		{Func: "DummyDeque.PopRightMany", Points: 0, Paper: "batch of Fig 22 pops"},
+		{Func: "LFRCDeque.PopLeftMany", Points: 0, Paper: "batch of Fig 24 pops"},
+		{Func: "LFRCDeque.PopRightMany", Points: 0, Paper: "batch of Fig 24 pops"},
 	},
 }

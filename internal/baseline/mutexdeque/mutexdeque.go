@@ -82,6 +82,37 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 	return v, spec.Okay
 }
 
+// PopLeftMany pops up to len(out) items from the left end into out and
+// returns the count, under a single lock acquisition — the blocking
+// baseline's batching advantage, which the benchmarks deliberately
+// preserve so the DCAS batch (a loop of single pops) is compared
+// against the strongest mutex variant.
+func (d *Deque) PopLeftMany(out []uint64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for n < len(out) && d.count > 0 {
+		out[n] = d.buf[d.head]
+		d.head = (d.head + 1) % len(d.buf)
+		d.count--
+		n++
+	}
+	return n
+}
+
+// PopRightMany is PopLeftMany for the right end.
+func (d *Deque) PopRightMany(out []uint64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for n < len(out) && d.count > 0 {
+		out[n] = d.buf[(d.head+d.count-1)%len(d.buf)]
+		d.count--
+		n++
+	}
+	return n
+}
+
 // Items returns the current contents left to right (for test snapshots).
 func (d *Deque) Items() ([]uint64, error) {
 	d.mu.Lock()

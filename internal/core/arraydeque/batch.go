@@ -1,0 +1,41 @@
+package arraydeque
+
+import "dcasdeque/internal/spec"
+
+// PopLeftMany pops up to len(out) values from the left end into out and
+// returns the number transferred, stopping early when the deque is
+// observed empty.  The batch is a sequence of independent PopLeft
+// operations, not an atomic multi-pop: each transferred value
+// linearizes at the commit site of the PopLeft that obtained it, and
+// the batch itself introduces no commit sites of its own (the Section 5
+// table obligates it to exactly zero, so dequevet rejects any
+// annotation added here).  What the batch buys is amortization of the
+// per-call overhead — one call, one []uint64 fill — for callers
+// draining one side, e.g. a work-stealing thief taking half a victim's
+// deque.
+func (d *Deque) PopLeftMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopLeft()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// PopRightMany is PopLeftMany mirrored onto the right end.
+func (d *Deque) PopRightMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopRight()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package listdeque
+
+import "dcasdeque/internal/spec"
+
+// The batch pops below transfer up to len(out) values from one end and
+// report the count, stopping early at empty.  Each is a sequence of
+// independent single pops — every transferred value linearizes at the
+// commit site of the pop that obtained it, and the batch wrappers
+// introduce no commit sites of their own (the Section 5 table obligates
+// them to exactly zero, so dequevet rejects stray annotations here).
+// The win is amortized call overhead for one-sided drains, e.g. a
+// work-stealing thief taking half a victim's deque in one call.
+
+// PopLeftMany pops up to len(out) values from the left end into out.
+func (d *Deque) PopLeftMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopLeft()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// PopRightMany pops up to len(out) values from the right end into out.
+func (d *Deque) PopRightMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopRight()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// PopLeftMany pops up to len(out) values from the left end into out.
+func (d *DummyDeque) PopLeftMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopLeft()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// PopRightMany pops up to len(out) values from the right end into out.
+func (d *DummyDeque) PopRightMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopRight()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// PopLeftMany pops up to len(out) values from the left end into out.
+func (d *LFRCDeque) PopLeftMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopLeft()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// PopRightMany pops up to len(out) values from the right end into out.
+func (d *LFRCDeque) PopRightMany(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, r := d.PopRight()
+		if r != spec.Okay {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}

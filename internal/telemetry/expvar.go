@@ -17,10 +17,12 @@ import (
 	"dcasdeque/internal/dcas"
 )
 
-// entry is one registered deque's telemetry sources.
+// entry is one registered component's telemetry sources: a deque's
+// sink+DCAS stats, or a scheduler's sink (RegisterSched), never both.
 type entry struct {
-	sink *Sink
-	dcas *dcas.Stats
+	sink  *Sink
+	dcas  *dcas.Stats
+	sched *SchedSink
 }
 
 var (
@@ -38,7 +40,20 @@ func Register(name string, sink *Sink, st *dcas.Stats) func() {
 	publishOnce.Do(func() {
 		expvar.Publish("dcasdeque", expvar.Func(exportAll))
 	})
-	e := entry{sink: sink, dcas: st}
+	return register(name, entry{sink: sink, dcas: st})
+}
+
+// RegisterSched exposes a scheduler's telemetry under the given name,
+// alongside the deques, with the same replace/unregister semantics as
+// Register.
+func RegisterSched(name string, sink *SchedSink) func() {
+	publishOnce.Do(func() {
+		expvar.Publish("dcasdeque", expvar.Func(exportAll))
+	})
+	return register(name, entry{sched: sink})
+}
+
+func register(name string, e entry) func() {
 	registryMu.Lock()
 	registry[name] = e
 	registryMu.Unlock()
@@ -61,21 +76,31 @@ func snapshotAll() map[string]exportEntry {
 	registryMu.Unlock()
 	out := make(map[string]exportEntry, len(entries))
 	for n, e := range entries {
-		ee := exportEntry{Telemetry: e.sink.Snapshot()}
+		var ee exportEntry
+		if e.sink != nil {
+			sn := e.sink.Snapshot()
+			ee.Telemetry = &sn
+		}
 		if e.dcas != nil {
 			sn := e.dcas.Snapshot()
 			ee.DCAS = &sn
+		}
+		if e.sched != nil {
+			sn := e.sched.Snapshot()
+			ee.Sched = &sn
 		}
 		out[n] = ee
 	}
 	return out
 }
 
-// exportEntry is the JSON shape of one deque under the "dcasdeque"
-// expvar variable.
+// exportEntry is the JSON shape of one registered component under the
+// "dcasdeque" expvar variable; deque entries carry Telemetry (+DCAS),
+// scheduler entries carry Sched.
 type exportEntry struct {
-	Telemetry Snapshot       `json:"telemetry"`
+	Telemetry *Snapshot      `json:"telemetry,omitempty"`
 	DCAS      *dcas.Snapshot `json:"dcas,omitempty"`
+	Sched     *SchedSnapshot `json:"sched,omitempty"`
 }
 
 // exportAll is the expvar.Func body: a map of deque name to snapshot,
@@ -112,16 +137,28 @@ func WriteText(b *strings.Builder) {
 	sort.Strings(names)
 	for _, n := range names {
 		e := all[n]
-		for _, end := range [NumEnds]End{Left, Right} {
-			oc := e.Telemetry.End(end)
-			for c := Counter(0); c < NumCounters; c++ {
-				fmt.Fprintf(b, "%s.%v.%v %d\n", n, end, c, oc.get(c))
+		if e.Telemetry != nil {
+			for _, end := range [NumEnds]End{Left, Right} {
+				oc := e.Telemetry.End(end)
+				for c := Counter(0); c < NumCounters; c++ {
+					fmt.Fprintf(b, "%s.%v.%v %d\n", n, end, c, oc.get(c))
+				}
+			}
+			r := e.Telemetry.Ref
+			fmt.Fprintf(b, "%s.ref.incs %d\n", n, r.Incs)
+			fmt.Fprintf(b, "%s.ref.decs %d\n", n, r.Decs)
+			fmt.Fprintf(b, "%s.ref.frees %d\n", n, r.Frees)
+		}
+		if e.Sched != nil {
+			for c := SchedCounter(0); c < NumSchedCounters; c++ {
+				fmt.Fprintf(b, "%s.sched.%v %d\n", n, c, e.Sched.Total.get(c))
+			}
+			for w, oc := range e.Sched.Workers {
+				for c := SchedCounter(0); c < NumSchedCounters; c++ {
+					fmt.Fprintf(b, "%s.sched.w%d.%v %d\n", n, w, c, oc.get(c))
+				}
 			}
 		}
-		r := e.Telemetry.Ref
-		fmt.Fprintf(b, "%s.ref.incs %d\n", n, r.Incs)
-		fmt.Fprintf(b, "%s.ref.decs %d\n", n, r.Decs)
-		fmt.Fprintf(b, "%s.ref.frees %d\n", n, r.Frees)
 		if e.DCAS != nil {
 			fmt.Fprintf(b, "%s.dcas.attempts %d\n", n, e.DCAS.Attempts)
 			fmt.Fprintf(b, "%s.dcas.failures %d\n", n, e.DCAS.Failures)

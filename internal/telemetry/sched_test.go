@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+
+	"dcasdeque/internal/dcas"
+)
+
+// The per-worker banks must be padded to whole false-sharing ranges so
+// adjacent workers in the slice never share a line — the same layout
+// contract padlayout enforces for the deque Sink's banks.
+func TestSchedBlockPadding(t *testing.T) {
+	if s := unsafe.Sizeof(schedBlock{}); s%dcas.FalseSharingRange != 0 {
+		t.Fatalf("schedBlock is %d bytes, not a multiple of the %d-byte false-sharing range",
+			s, dcas.FalseSharingRange)
+	}
+}
+
+func TestSchedSinkCounts(t *testing.T) {
+	s := NewSchedSink(3)
+	s.Inc(0, SchedRuns)
+	s.Inc(0, SchedRuns)
+	s.Inc(1, SchedSteals)
+	s.Add(1, SchedStolen, 4)
+	s.Inc(2, SchedParks)
+	s.Inc(SchedExternal, SchedSubmits)
+	s.Inc(SchedExternal, SchedWakes)
+	s.Add(2, SchedStealFails, 0) // no-op
+
+	sn := s.Snapshot()
+	if sn.Workers[0].Runs != 2 || sn.Workers[1].Steals != 1 ||
+		sn.Workers[1].Stolen != 4 || sn.Workers[2].Parks != 1 {
+		t.Fatalf("per-worker counts wrong: %+v", sn.Workers)
+	}
+	if sn.External.Submits != 1 || sn.External.Wakes != 1 {
+		t.Fatalf("external counts wrong: %+v", sn.External)
+	}
+	if sn.Total.Runs != 2 || sn.Total.Stolen != 4 || sn.Total.Submits != 1 ||
+		sn.Total.Wakes != 1 || sn.Total.StealFails != 0 {
+		t.Fatalf("totals wrong: %+v", sn.Total)
+	}
+}
+
+// External-bank recording is multi-writer; per-worker banks are
+// single-writer.  Exercise both shapes under the race detector.
+func TestSchedSinkConcurrent(t *testing.T) {
+	s := NewSchedSink(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Inc(w, SchedRuns)
+				s.Inc(SchedExternal, SchedSubmits)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sn := s.Snapshot()
+	if sn.Total.Runs != 4000 || sn.External.Submits != 4000 {
+		t.Fatalf("lost updates: %+v", sn.Total)
+	}
+}
+
+func TestSchedExporter(t *testing.T) {
+	s := NewSchedSink(2)
+	s.Inc(0, SchedRuns)
+	s.Inc(1, SchedSteals)
+	s.Add(1, SchedStolen, 3)
+	s.Inc(SchedExternal, SchedSubmits)
+	unregister := RegisterSched("test_exporter_sched", s)
+	defer unregister()
+
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"test_exporter_sched.sched.runs 1",
+		"test_exporter_sched.sched.steals 1",
+		"test_exporter_sched.sched.stolen 3",
+		"test_exporter_sched.sched.submits 1",
+		"test_exporter_sched.sched.w0.runs 1",
+		"test_exporter_sched.sched.w1.stolen 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exporter text missing %q:\n%s", want, body)
+		}
+	}
+	// A scheduler entry must not emit deque counter lines.
+	if strings.Contains(body, "test_exporter_sched.left.") ||
+		strings.Contains(body, "test_exporter_sched.ref.") {
+		t.Errorf("scheduler entry leaked deque lines:\n%s", body)
+	}
+
+	v := expvar.Get("dcasdeque")
+	if v == nil {
+		t.Fatal("expvar \"dcasdeque\" not published")
+	}
+	var decoded map[string]exportEntry
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar JSON: %v\n%s", err, v.String())
+	}
+	e, ok := decoded["test_exporter_sched"]
+	if !ok {
+		t.Fatalf("expvar JSON missing scheduler entry: %s", v.String())
+	}
+	if e.Sched == nil || e.Sched.Total.Stolen != 3 || len(e.Sched.Workers) != 2 {
+		t.Fatalf("expvar sched = %+v", e.Sched)
+	}
+	if e.Telemetry != nil {
+		t.Fatalf("scheduler entry carries deque telemetry: %+v", e.Telemetry)
+	}
+
+	unregister()
+	rec = httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if strings.Contains(rec.Body.String(), "test_exporter_sched") {
+		t.Fatal("entry still exported after unregister")
+	}
+}

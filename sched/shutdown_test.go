@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitAfterShutdown: once Shutdown is called, both submission
+// paths refuse with ErrShutdown — even while the drain is ongoing.
+func TestSubmitAfterShutdown(t *testing.T) {
+	s := New(WithWorkers(2))
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := s.Submit(func(*Worker) { <-gate; wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	// Start the drain but do not let it finish: the in-flight task holds
+	// the life word above quiescence.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with task in flight = %v, want deadline exceeded", err)
+	}
+	if err := s.Submit(func(*Worker) {}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrShutdown", err)
+	}
+	if err := s.TrySubmit(func(*Worker) {}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("TrySubmit after Shutdown = %v, want ErrShutdown", err)
+	}
+	close(gate)
+	wg.Wait()
+	shutdownOK(t, s)
+}
+
+// TestShutdownHonorsContext: a cancelled context aborts the wait (not
+// the drain), and a later Shutdown call can resume waiting.
+func TestShutdownHonorsContext(t *testing.T) {
+	s := New(WithWorkers(2))
+	gate := make(chan struct{})
+	if err := s.Submit(func(*Worker) { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Shutdown must return immediately
+	if err := s.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown(cancelled ctx) = %v, want context.Canceled", err)
+	}
+	close(gate)
+	shutdownOK(t, s) // the drain continued in the background
+}
+
+// TestShutdownDrainsPending: tasks accepted before Shutdown — and
+// their transitive spawns — all run before Shutdown returns.
+func TestShutdownDrainsPending(t *testing.T) {
+	s := New(WithWorkers(4))
+	var ran atomic.Int64
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := s.Submit(func(w *Worker) {
+			w.Spawn(func(*Worker) { ran.Add(1) })
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shutdownOK(t, s) // no external join: Shutdown *is* the join
+	if got := ran.Load(); got != 2*n {
+		t.Fatalf("after Shutdown, ran = %d, want %d", got, 2*n)
+	}
+}
+
+// TestParkedWorkerWokenByFinalDrain: workers with nothing to do park;
+// the last task's completion (the release that lands the life word on
+// quiescence) must wake them so they exit and Shutdown returns.  The
+// single long-running task guarantees the other workers are parked
+// when the drain completes.
+func TestParkedWorkerWokenByFinalDrain(t *testing.T) {
+	s := New(WithWorkers(4), WithTelemetry())
+	release := make(chan struct{})
+	if err := s.Submit(func(*Worker) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	// Give the three idle workers time to run out of spin and park.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := s.Stats()
+		if st.Total.Parks >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never parked: %+v", st.Total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release) // the final drain happens while workers are parked
+	}()
+	shutdownOK(t, s)
+}
+
+// TestShutdownIdleScheduler: shutting down with nothing ever submitted
+// must wake the (all parked) workers immediately.
+func TestShutdownIdleScheduler(t *testing.T) {
+	s := New(WithWorkers(4))
+	time.Sleep(10 * time.Millisecond) // let the workers park
+	shutdownOK(t, s)
+}
+
+// TestShutdownConcurrent: many goroutines racing Shutdown all get nil
+// once the drain completes.
+func TestShutdownConcurrent(t *testing.T) {
+	s := New(WithWorkers(2))
+	for i := 0; i < 100; i++ {
+		if err := s.Submit(func(*Worker) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			errs[i] = s.Shutdown(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Shutdown %d: %v", i, err)
+		}
+	}
+}

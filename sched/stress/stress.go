@@ -1,0 +1,174 @@
+// Package stress is the scheduler's randomized stress harness — the
+// sched counterpart of internal/verify/stress for the deques.  One Run
+// is one scheduler lifetime with every knob randomized from the seed:
+// worker count, deque backend and capacity, injector capacity, steal
+// batch, spawn-tree shape, and the join mode.  It checks the two
+// properties the scheduler promises:
+//
+//   - Task-count conservation: every accepted task — submitted or
+//     spawned — runs exactly once (counted by the tasks themselves),
+//     and tasks refused after shutdown never run.
+//   - No lost wakeups: the run completes within a watchdog budget.  A
+//     lost wakeup strands work while workers sleep, so the computation
+//     hangs; the watchdog converts that hang into a failure instead of
+//     a stuck process.
+//
+// The two join modes split the second property: "join" waits for the
+// computation via a WaitGroup while the scheduler stays up (exercising
+// park/wake under steady submission), "drain" calls Shutdown
+// immediately after the last submit and relies on the drain to be the
+// join (exercising the quiescence announcement path).
+package stress
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcasdeque/deque"
+	"dcasdeque/sched"
+)
+
+// Config parameterizes Run.  Only the seed is required; every other
+// field has a working default.
+type Config struct {
+	// Seed drives all randomization; equal seeds give equal scenarios.
+	Seed uint64
+	// Timeout is the no-lost-wakeup watchdog per run (default 30s).
+	Timeout time.Duration
+}
+
+// Stats describes the scenario one Run executed.
+type Stats struct {
+	Workers  int
+	Backend  string
+	Submits  int
+	Spawned  uint64
+	Runs     uint64
+	Drained  bool // joined by Shutdown's drain instead of a WaitGroup
+}
+
+// backendNames lists the deque implementations runs rotate through.
+var backendNames = []string{"array", "list", "list-dummy", "list-lfrc", "mutex"}
+
+func backendOption(name string) sched.Option {
+	switch name {
+	case "array":
+		return sched.WithArrayDeques()
+	case "list":
+		return sched.WithListDeques()
+	case "list-dummy":
+		return sched.WithListDeques(deque.WithDummyNodes())
+	case "list-lfrc":
+		return sched.WithListDeques(deque.WithLFRC())
+	default:
+		return sched.WithMutexDeques()
+	}
+}
+
+// Run executes one randomized scheduler lifetime and verifies
+// conservation; a nil error means every accepted task ran exactly once
+// and the run beat the watchdog.
+func Run(cfg Config) (Stats, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5ced))
+
+	st := Stats{
+		Workers: 1 + rng.IntN(8),
+		Backend: backendNames[rng.IntN(len(backendNames))],
+		Submits: 1 + rng.IntN(64),
+		Drained: rng.IntN(2) == 0,
+	}
+	opts := []sched.Option{
+		sched.WithWorkers(st.Workers),
+		backendOption(st.Backend),
+		// Small capacities on purpose: the overflow paths (spawn →
+		// injector → inline) and Submit's backpressure must hold
+		// conservation too.
+		sched.WithDequeCapacity(1 + rng.IntN(64)),
+		sched.WithInjectorCapacity(1 + rng.IntN(64)),
+		sched.WithStealBatch(1 + rng.IntN(32)),
+		sched.WithSpinRounds(1 + rng.IntN(8)),
+	}
+
+	var (
+		expected atomic.Uint64 // tasks accepted: submits + spawns
+		ran      atomic.Uint64 // tasks executed
+		wg       sync.WaitGroup
+	)
+	// Per-task randomness must not share the harness rng (tasks run
+	// concurrently); derive fixed shape parameters instead.
+	branch := 1 + rng.IntN(3)
+	depth := rng.IntN(6)
+	leafSpin := rng.IntN(200)
+
+	var node func(depth int) sched.Task
+	node = func(depth int) sched.Task {
+		return func(w *sched.Worker) {
+			defer wg.Done()
+			ran.Add(1)
+			if depth == 0 {
+				for i := 0; i < leafSpin; i++ {
+					_ = i // simulate a little work
+				}
+				return
+			}
+			for i := 0; i < branch; i++ {
+				expected.Add(1)
+				wg.Add(1)
+				w.Spawn(node(depth - 1))
+			}
+		}
+	}
+
+	s := sched.New(opts...)
+	for i := 0; i < st.Submits; i++ {
+		expected.Add(1)
+		wg.Add(1)
+		if err := s.Submit(node(depth)); err != nil {
+			return st, fmt.Errorf("submit %d: %v", i, err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	if st.Drained {
+		// Shutdown is the join: it must not return before the spawn trees
+		// finish.
+		if err := s.Shutdown(ctx); err != nil {
+			return st, fmt.Errorf("drain-join: %v (lost wakeup or stuck drain; ran %d/%d)",
+				err, ran.Load(), expected.Load())
+		}
+	} else {
+		joined := make(chan struct{})
+		go func() { wg.Wait(); close(joined) }()
+		select {
+		case <-joined:
+		case <-ctx.Done():
+			return st, fmt.Errorf("join: watchdog expired (lost wakeup; ran %d/%d)",
+				ran.Load(), expected.Load())
+		}
+		if err := s.Shutdown(ctx); err != nil {
+			return st, fmt.Errorf("shutdown after join: %v", err)
+		}
+	}
+
+	// Post-shutdown refusals must not run: the counters below would
+	// diverge if a refused task ever executed.
+	if err := s.TrySubmit(func(*sched.Worker) { ran.Add(1) }); err != sched.ErrShutdown {
+		return st, fmt.Errorf("TrySubmit after shutdown = %v, want ErrShutdown", err)
+	}
+
+	st.Runs = ran.Load()
+	st.Spawned = expected.Load() - uint64(st.Submits)
+	if st.Runs != expected.Load() {
+		return st, fmt.Errorf("conservation violated: accepted %d tasks, ran %d",
+			expected.Load(), st.Runs)
+	}
+	return st, nil
+}

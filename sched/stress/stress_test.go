@@ -1,0 +1,43 @@
+package stress
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRandomizedRuns is the bounded in-tree slice of the certification
+// the dequestress -sched command runs at scale (10k+ runs): every
+// seed's scenario must conserve its task count and beat the watchdog.
+func TestRandomizedRuns(t *testing.T) {
+	runs := 150
+	if testing.Short() {
+		runs = 40
+	}
+	for seed := 0; seed < runs; seed++ {
+		st, err := Run(Config{Seed: uint64(seed), Timeout: time.Minute})
+		if err != nil {
+			t.Fatalf("seed %d (workers=%d backend=%s submits=%d drained=%v): %v",
+				seed, st.Workers, st.Backend, st.Submits, st.Drained, err)
+		}
+		if st.Runs != uint64(st.Submits)+st.Spawned {
+			t.Fatalf("seed %d: Stats inconsistent: %+v", seed, st)
+		}
+	}
+}
+
+// TestDeterministicScenario: equal seeds produce equal scenarios (the
+// reproducibility promise failures are reported in terms of).
+func TestDeterministicScenario(t *testing.T) {
+	a, err := Run(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workers != b.Workers || a.Backend != b.Backend ||
+		a.Submits != b.Submits || a.Spawned != b.Spawned || a.Drained != b.Drained {
+		t.Fatalf("seed 42 scenarios differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race check sched-stress sched-bench
+.PHONY: all build lint test race check sched-stress sched-bench chaselev-bench
 
 all: check
 
@@ -30,5 +30,10 @@ sched-stress:
 # counts, written to BENCH_PR5.json.
 sched-bench:
 	$(GO) run ./cmd/dequebench -exp sched -workers 1,2,4,8 -json BENCH_PR5.json
+
+# Chase–Lev head-to-head: the same sched grid (the backend set includes
+# chaselev), committed as BENCH_PR6.json (EXPERIMENTS.md CHASELEV).
+chaselev-bench:
+	$(GO) run ./cmd/dequebench -exp sched -ops 50000 -workers 1,2,4,8 -json BENCH_PR6.json
 
 check: build lint test race

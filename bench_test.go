@@ -23,6 +23,7 @@ import (
 	"dcasdeque/internal/baseline/greenwald"
 	"dcasdeque/internal/baseline/mutexdeque"
 	"dcasdeque/internal/core/arraydeque"
+	"dcasdeque/internal/core/chaselev"
 	"dcasdeque/internal/core/listdeque"
 	"dcasdeque/internal/dcas"
 	"dcasdeque/internal/spec"
@@ -399,8 +400,22 @@ func BenchmarkPublicAPI(b *testing.B) {
 			d.PopRight()
 		}
 	})
+	b.Run("ChaseLev[int]", func(b *testing.B) {
+		d := deque.NewChaseLev[int]()
+		for i := 0; i < b.N; i++ {
+			d.PushRight(i)
+			d.PopRight()
+		}
+	})
 	b.Run("core-array-words", func(b *testing.B) {
 		d := arraydeque.New(1 << 10)
+		for i := 0; i < b.N; i++ {
+			d.PushRight(uint64(i) + 5)
+			d.PopRight()
+		}
+	})
+	b.Run("core-chaselev-words", func(b *testing.B) {
+		d := chaselev.New()
 		for i := 0; i < b.N; i++ {
 			d.PushRight(uint64(i) + 5)
 			d.PopRight()

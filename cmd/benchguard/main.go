@@ -9,9 +9,16 @@
 //
 //	benchguard [-base origin/main] [-bench BenchmarkPublicAPI]
 //	           [-benchtime 0.3s] [-count 5] [-threshold 5]
+//	           [-headgate candidate=reference]
 //
 // The base revision is materialized in a temporary git worktree, so the
 // working tree (including uncommitted changes) is never disturbed.
+//
+// A benchmark that is new in this PR has no base sample, so the
+// base-vs-HEAD comparison reports it but cannot judge it.  -headgate
+// closes that gap: it names two HEAD benchmarks, and the candidate's
+// median must not exceed the reference's by more than the threshold —
+// the same gate, anchored to a peer instead of history.
 package main
 
 import (
@@ -30,6 +37,7 @@ var (
 	benchtimeFlag = flag.String("benchtime", "0.3s", "per-benchmark measurement time")
 	countFlag     = flag.Int("count", 5, "runs per benchmark (medians compared)")
 	thresholdFlag = flag.Float64("threshold", 5, "maximum allowed regression, percent")
+	headgateFlag  = flag.String("headgate", "", "judge one HEAD benchmark against another, candidate=reference (for benchmarks with no base sample)")
 )
 
 // git runs a git command and returns its trimmed stdout.
@@ -72,7 +80,16 @@ func run() int {
 	}
 	if baseSHA == head {
 		fmt.Printf("benchguard: HEAD is the merge base (%s); nothing to compare\n", baseSHA[:12])
-		return 0
+		if *headgateFlag == "" {
+			return 0
+		}
+		// The head gate needs no base at all; run it on its own.
+		headRes, err := bench(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return judgeHeadgate(headRes)
 	}
 
 	tmp, err := os.MkdirTemp("", "benchguard-base-")
@@ -113,11 +130,35 @@ func run() int {
 	for _, l := range lines {
 		fmt.Println(l)
 	}
+	code := 0
 	if worst > *thresholdFlag {
 		fmt.Printf("benchguard: FAIL — worst regression %.2f%% exceeds %.1f%%\n", worst, *thresholdFlag)
+		code = 1
+	} else {
+		fmt.Printf("benchguard: ok — worst regression %.2f%% within %.1f%%\n", worst, *thresholdFlag)
+	}
+	if *headgateFlag != "" {
+		if hg := judgeHeadgate(headRes); hg > code {
+			code = hg
+		}
+	}
+	return code
+}
+
+// judgeHeadgate applies the -headgate candidate=reference comparison to
+// the HEAD samples and returns the process exit code contribution.
+func judgeHeadgate(head map[string][]float64) int {
+	line, pct, err := headgate(*headgateFlag, head)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return 2
+	}
+	fmt.Println(line)
+	if pct > *thresholdFlag {
+		fmt.Printf("benchguard: FAIL — head gate %.2f%% exceeds %.1f%%\n", pct, *thresholdFlag)
 		return 1
 	}
-	fmt.Printf("benchguard: ok — worst regression %.2f%% within %.1f%%\n", worst, *thresholdFlag)
+	fmt.Printf("benchguard: ok — head gate %.2f%% within %.1f%%\n", pct, *thresholdFlag)
 	return 0
 }
 

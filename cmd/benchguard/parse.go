@@ -64,6 +64,29 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// headgate evaluates a "candidate=reference" spec against HEAD samples:
+// the candidate's median may exceed the reference's by at most the
+// caller's threshold.  It returns the verdict line and the candidate's
+// overhead percentage relative to the reference.
+func headgate(spec string, head map[string][]float64) (string, float64, error) {
+	cand, ref, ok := strings.Cut(spec, "=")
+	if !ok || cand == "" || ref == "" {
+		return "", 0, fmt.Errorf("bad -headgate %q, want candidate=reference", spec)
+	}
+	cs, ok := head[cand]
+	if !ok {
+		return "", 0, fmt.Errorf("-headgate candidate %q not in HEAD results", cand)
+	}
+	rs, ok := head[ref]
+	if !ok {
+		return "", 0, fmt.Errorf("-headgate reference %q not in HEAD results", ref)
+	}
+	c, r := median(cs), median(rs)
+	pct := (c - r) / r * 100
+	return fmt.Sprintf("%-60s %10.1f vs %10.1f ns/op  %+6.2f%% (head gate vs %s)",
+		cand, c, r, pct, ref), pct, nil
+}
+
 // compare evaluates head against base and returns per-benchmark verdict
 // lines plus the worst regression percentage across benchmarks present
 // in both (benchmarks on one side only are reported but never judged —

@@ -88,3 +88,32 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("improvement reported as regression: %v", worst)
 	}
 }
+
+func TestHeadgate(t *testing.T) {
+	head := map[string][]float64{
+		"New":  {110, 112, 108}, // median 110
+		"Ref":  {100, 102, 98},  // median 100
+		"Fast": {80},
+	}
+	line, pct, err := headgate("New=Ref", head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct < 9.9 || pct > 10.1 {
+		t.Fatalf("pct = %v, want ~10", pct)
+	}
+	for _, want := range []string{"New", "Ref", "head gate"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("verdict line missing %q: %s", want, line)
+		}
+	}
+	// A candidate faster than its reference reports a negative overhead.
+	if _, pct, _ = headgate("Fast=Ref", head); pct >= 0 {
+		t.Fatalf("faster candidate pct = %v, want negative", pct)
+	}
+	for _, bad := range []string{"", "NoEquals", "=Ref", "New=", "Missing=Ref", "New=Missing"} {
+		if _, _, err := headgate(bad, head); err == nil {
+			t.Fatalf("headgate(%q) accepted", bad)
+		}
+	}
+}

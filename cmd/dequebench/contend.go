@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"dcasdeque/internal/core/arraydeque"
+	"dcasdeque/internal/core/chaselev"
+	"dcasdeque/internal/core/listdeque"
 	"dcasdeque/internal/dcas"
 	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/workload"
@@ -92,8 +94,11 @@ func contendVariants() []contendVariant {
 }
 
 // contendCell is one (variant, workers) measurement in the JSON report.
+// Backend carries the uniform `backend` key shared with the sched
+// experiment so JSON consumers can join rows across experiments without
+// per-experiment field aliases.
 type contendCell struct {
-	Impl          string    `json:"impl"`
+	Backend       string    `json:"backend"`
 	Provider      string    `json:"provider"`
 	Workers       int       `json:"workers"`
 	OpsPerSec     float64   `json:"ops_per_sec"` // median of Trials
@@ -132,6 +137,22 @@ type contendReport struct {
 		Workers int     `json:"workers"`
 		Speedup float64 `json:"speedup_vs_baseline"`
 	} `json:"speedup_vs_baseline"`
+	// Steal holds the owner/thief head-to-head: the native single-CAS
+	// Chase–Lev deque against the DCAS deques on the work-stealing task
+	// tree, the workload shape Chase–Lev exists for.
+	Steal []stealCell `json:"steal_cells,omitempty"`
+}
+
+// stealCell is one (backend, workers) row of the owner/thief
+// head-to-head: workload.RunSteal's task tree, owners pushing and
+// popping their own right end, thieves stealing from the left.
+type stealCell struct {
+	Backend      string    `json:"backend"`
+	Workers      int       `json:"workers"`
+	Leaves       uint64    `json:"leaves"`
+	Steals       uint64    `json:"steals"`
+	LeavesPerSec float64   `json:"leaves_per_sec"` // median of Trials
+	Trials       []float64 `json:"trials_leaves_per_sec"`
 }
 
 func median(xs []float64) float64 {
@@ -218,7 +239,7 @@ func expContend(o io, ops int, workers []int) {
 	rep.Env.NumCPU = runtime.NumCPU()
 	rep.Env.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
-	t := metrics.NewTable("impl", "workers", "ops/s", "p50(ns)", "p99(ns)", "dcas-failed", "yields")
+	t := metrics.NewTable("backend", "workers", "ops/s", "p50(ns)", "p99(ns)", "dcas-failed", "yields")
 	baseline := map[int]float64{}
 	engineered := map[int]float64{}
 	for _, w := range workers {
@@ -228,7 +249,7 @@ func expContend(o io, ops int, workers []int) {
 		vs := contendVariants()
 		cells := make([]contendCell, len(vs))
 		for i, v := range vs {
-			cells[i] = contendCell{Impl: v.name, Provider: v.provider, Workers: w}
+			cells[i] = contendCell{Backend: v.name, Provider: v.provider, Workers: w}
 			// One discarded warmup trial per cell: the first run after a
 			// process or cell switch pays scheduler and cache warmup that
 			// the steady state does not.
@@ -287,6 +308,7 @@ func expContend(o io, ops int, workers []int) {
 			rep.Config.Baseline, s.Workers, s.Speedup)
 	}
 	fmt.Println()
+	contendSteal(o, &rep, workers)
 
 	if *jsonFlag != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
@@ -303,4 +325,77 @@ func expContend(o io, ops int, workers []int) {
 		}
 		fmt.Printf("wrote %s\n\n", *jsonFlag)
 	}
+}
+
+const (
+	contendStealDepth = 14      // 16384 leaves per run, as in B4
+	contendStealCap   = 1 << 10 // bounded DCAS deques' per-worker capacity
+)
+
+// stealBackends are the owner/thief head-to-head contenders: the best
+// DCAS array configuration (the engineered substrate), the DCAS list
+// deque, and the native single-CAS Chase–Lev deque.
+func stealBackends() []struct {
+	name string
+	mk   func() workload.Deque
+} {
+	return []struct {
+		name string
+		mk   func() workload.Deque
+	}{
+		{"array-engineered", func() workload.Deque {
+			return arraydeque.New(contendStealCap,
+				arraydeque.WithProvider(new(dcas.EndLock)),
+				arraydeque.WithBackoff(dcas.DefaultBackoff()))
+		}},
+		{"list", func() workload.Deque { return listdeque.New() }},
+		{"chaselev", func() workload.Deque { return chaselev.New() }},
+	}
+}
+
+// contendSteal runs the owner/thief head-to-head and appends its cells to
+// the report.  RunSteal's access pattern — each worker pushes and pops
+// only its own deque's right end, thieves take from the left — is
+// exactly the contract Chase–Lev demands, so all three backends run the
+// identical workload.
+func contendSteal(o io, rep *contendReport, workers []int) {
+	t := metrics.NewTable("backend", "workers", "leaves/s", "steals")
+	for _, w := range workers {
+		bs := stealBackends()
+		cells := make([]stealCell, len(bs))
+		for i, b := range bs {
+			cells[i] = stealCell{Backend: b.name, Workers: w}
+			// Discarded warmup trial, as in the mix cells above.
+			cfg := workload.StealConfig{Workers: w, Depth: contendStealDepth,
+				Capacity: contendStealCap, Seed: contendSeed}
+			if _, err := workload.RunSteal(b.mk, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "contend-steal:", err)
+				os.Exit(1)
+			}
+		}
+		// Round-robin trials across backends, as everywhere in this file.
+		for trial := 0; trial < contendTrials; trial++ {
+			for i, b := range bs {
+				runtime.GC()
+				res, err := workload.RunSteal(b.mk, workload.StealConfig{
+					Workers: w, Depth: contendStealDepth,
+					Capacity: contendStealCap, Seed: contendSeed + uint64(trial),
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "contend-steal:", err)
+					os.Exit(1)
+				}
+				cells[i].Leaves = res.Leaves
+				cells[i].Steals = res.Steals
+				cells[i].Trials = append(cells[i].Trials,
+					float64(res.Leaves)/res.Elapsed.Seconds())
+			}
+		}
+		for i := range cells {
+			cells[i].LeavesPerSec = median(cells[i].Trials)
+			rep.Steal = append(rep.Steal, cells[i])
+			t.AddRow(cells[i].Backend, w, cells[i].LeavesPerSec, cells[i].Steals)
+		}
+	}
+	o.emit(fmt.Sprintf("CONTEND-STEAL: owner/thief head-to-head (task tree depth %d)", contendStealDepth), t)
 }

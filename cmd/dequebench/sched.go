@@ -42,6 +42,7 @@ func schedBackends() []schedBackend {
 		{"array", sched.WithArrayDeques()},
 		{"list", sched.WithListDeques()},
 		{"mutex", sched.WithMutexDeques()},
+		{"chaselev", sched.WithChaseLev()},
 	}
 }
 

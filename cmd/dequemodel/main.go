@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dequemodel [-algo array|list|both] [-threads 2|3] [-solo]
+//	dequemodel [-algo array|list|chaselev|both|all] [-threads 2|3] [-solo]
 //
 // Exit status: 0 when every obligation holds, 1 when the checker finds a
 // violation, 2 on usage errors.
@@ -39,7 +39,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs := flag.NewFlagSet("dequemodel", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cfg := config{}
-	fs.StringVar(&cfg.algo, "algo", "both", "algorithm to check: array, list, both")
+	fs.StringVar(&cfg.algo, "algo", "all", "algorithm to check: array, list, chaselev, both (array+list), all")
 	fs.IntVar(&cfg.threads, "threads", 2, "concurrent single-op threads per scenario (2 or 3)")
 	fs.BoolVar(&cfg.solo, "solo", true, "also check solo termination (the non-blocking property)")
 	if err := fs.Parse(args); err != nil {
@@ -52,9 +52,9 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		return cfg, fmt.Errorf("dequemodel: -threads must be 2 or 3")
 	}
 	switch cfg.algo {
-	case "array", "list", "both":
+	case "array", "list", "chaselev", "both", "all":
 	default:
-		return cfg, fmt.Errorf("dequemodel: -algo must be array, list or both")
+		return cfg, fmt.Errorf("dequemodel: -algo must be array, list, chaselev, both or all")
 	}
 	return cfg, nil
 }
@@ -101,11 +101,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts := model.Options{CheckSolo: cfg.solo}
 	ok := true
-	if cfg.algo == "array" || cfg.algo == "both" {
+	if cfg.algo == "array" || cfg.algo == "both" || cfg.algo == "all" {
 		ok = runArray(cfg, opts, stdout, stderr) && ok
 	}
-	if cfg.algo == "list" || cfg.algo == "both" {
+	if cfg.algo == "list" || cfg.algo == "both" || cfg.algo == "all" {
 		ok = runList(cfg, opts, stdout, stderr) && ok
+	}
+	if cfg.algo == "chaselev" || cfg.algo == "all" {
+		ok = runChaseLev(cfg, opts, stdout, stderr) && ok
 	}
 	if !ok {
 		return 1
@@ -187,6 +190,73 @@ func runList(cfg config, opts model.Options, stdout, stderr io.Writer) bool {
 	reportScenario(stdout, "Figure 16 (two-sided delete contention)",
 		model.NewListSys(nil, true, true, [][]model.OpSpec{{{Kind: model.PopLeft}}, {{Kind: model.PopRight}}}),
 		opts, "deleteRight: two-null ok", "deleteLeft: two-null ok")
+	return allOK
+}
+
+// chaseLevProgSets enumerates the owner-pinned single-op programs for
+// the Chase–Lev model: thread 0 (the owner) draws from pushRight and
+// popRight, every other thread from popLeft and the 2-element batch
+// steal — the backend's access contract, which the constructor enforces.
+func chaseLevProgSets(n int) [][][]model.OpSpec {
+	ownerOps := []model.OpSpec{{Kind: model.PushRight, Arg: 11}, {Kind: model.PopRight}}
+	thiefOps := []model.OpSpec{{Kind: model.PopLeft}, {Kind: model.PopLeftBatch, Arg: 2}}
+	var out [][][]model.OpSpec
+	var rec func(depth int, acc [][]model.OpSpec)
+	rec = func(depth int, acc [][]model.OpSpec) {
+		if depth == n {
+			cp := make([][]model.OpSpec, n)
+			copy(cp, acc)
+			out = append(out, cp)
+			return
+		}
+		ops := thiefOps
+		if depth == 0 {
+			ops = ownerOps
+		}
+		for _, op := range ops {
+			rec(depth+1, append(acc, []model.OpSpec{op}))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func runChaseLev(cfg config, opts model.Options, stdout, stderr io.Writer) bool {
+	t := metrics.NewTable("span", "fill", "scenarios", "states", "transitions", "linearizations", "violations")
+	allOK := true
+	for _, span := range []int{1, 2} {
+		for fill := 0; fill <= 4; fill++ {
+			var initial []uint64
+			for i := 0; i < fill; i++ {
+				initial = append(initial, uint64(100+i))
+			}
+			var states, trans, lins, scenarios, bad int
+			for _, progs := range chaseLevProgSets(cfg.threads) {
+				scenarios++
+				rep, v := explore(model.NewChaseLevSys(initial, span, progs), opts)
+				states += rep.States
+				trans += rep.Transitions
+				lins += rep.Linearized
+				if v != nil {
+					bad++
+					fmt.Fprintf(stderr, "chaselev span=%d fill=%d: %v\n", span, fill, v)
+					allOK = false
+				}
+			}
+			t.AddRow(span, fill, scenarios, states, trans, lins, bad)
+		}
+	}
+	fmt.Fprintln(stdout, "== Chase–Lev work-stealing deque (single-CAS, stamped top) ==")
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintln(stdout)
+	reportScenario(stdout, "Chase–Lev one-element race (owner pop vs steal)",
+		model.NewChaseLevSys([]uint64{7}, 2,
+			[][]model.OpSpec{{{Kind: model.PopRight}}, {{Kind: model.PopLeft}}}),
+		opts, "last-item CAS", "steal-CAS ok")
+	reportScenario(stdout, "Chase–Lev batch claim vs owner boundary pop",
+		model.NewChaseLevSys([]uint64{7, 8}, 2,
+			[][]model.OpSpec{{{Kind: model.PopRight}}, {{Kind: model.PopLeftBatch, Arg: 2}}}),
+		opts, "bump-take", "claim-CAS ok")
 	return allOK
 }
 

@@ -29,7 +29,7 @@ func TestParseFlags(t *testing.T) {
 		wantErr bool
 		want    config
 	}{
-		{name: "defaults", args: nil, want: config{algo: "both", threads: 2, solo: true}},
+		{name: "defaults", args: nil, want: config{algo: "all", threads: 2, solo: true}},
 		{name: "explicit", args: []string{"-algo", "array", "-threads", "3", "-solo=false"},
 			want: config{algo: "array", threads: 3, solo: false}},
 		{name: "badThreadsLow", args: []string{"-threads", "1"}, wantErr: true},

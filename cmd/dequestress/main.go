@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dequestress [-impl array|list|greenwald|mutex|all] [-seconds 10]
+//	dequestress [-impl array|list|chaselev|greenwald|mutex|all] [-seconds 10]
 //	            [-threads 3] [-ops 4] [-capacity 4] [-seed 1]
 //	            [-flight dump.flight] [-watch]
 //	dequestress -sched [-sched-runs 10000]   (scheduler mode; see sched.go)
@@ -33,6 +33,7 @@ import (
 	"dcasdeque/internal/baseline/greenwald"
 	"dcasdeque/internal/baseline/mutexdeque"
 	"dcasdeque/internal/core/arraydeque"
+	"dcasdeque/internal/core/chaselev"
 	"dcasdeque/internal/core/listdeque"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/telemetry"
@@ -40,7 +41,7 @@ import (
 )
 
 var (
-	implFlag    = flag.String("impl", "all", "implementation: array, list, list-dummy, list-lfrc, greenwald, mutex, all")
+	implFlag    = flag.String("impl", "all", "implementation: array, list, list-dummy, list-lfrc, chaselev, greenwald, mutex, all")
 	secondsFlag = flag.Int("seconds", 10, "wall-clock budget per implementation")
 	threadsFlag = flag.Int("threads", 3, "workers per window")
 	opsFlag     = flag.Int("ops", 4, "operations per worker per window")
@@ -56,23 +57,28 @@ type target struct {
 	capacity int
 	items    func() ([]uint64, error)
 	sink     *telemetry.Sink
+	// owner restricts generated programs to the Chase–Lev threading
+	// contract (thread 0 owns the right end, everyone else steals left).
+	owner bool
 }
 
 func targets() []target {
-	sa, sl, sld, slr := telemetry.NewSink(), telemetry.NewSink(), telemetry.NewSink(), telemetry.NewSink()
+	sa, sl, sld, slr, scl := telemetry.NewSink(), telemetry.NewSink(), telemetry.NewSink(), telemetry.NewSink(), telemetry.NewSink()
 	a := arraydeque.New(*capFlag, arraydeque.WithTelemetry(sa))
 	l := listdeque.New(listdeque.WithTelemetry(sl))
 	ld := listdeque.NewDummy(listdeque.WithTelemetry(sld))
 	lr := listdeque.NewLFRC(listdeque.WithTelemetry(slr))
+	cl := chaselev.New(chaselev.WithTelemetry(scl))
 	g := greenwald.New(*capFlag, nil)
 	m := mutexdeque.New(*capFlag)
 	return []target{
-		{"array", a, *capFlag, a.Items, sa},
-		{"list", l, spec.Unbounded, l.Items, sl},
-		{"list-dummy", ld, spec.Unbounded, ld.Items, sld},
-		{"list-lfrc", lr, spec.Unbounded, lr.Items, slr},
-		{"greenwald", g, *capFlag, g.Items, nil},
-		{"mutex", m, *capFlag, m.Items, nil},
+		{"array", a, *capFlag, a.Items, sa, false},
+		{"list", l, spec.Unbounded, l.Items, sl, false},
+		{"list-dummy", ld, spec.Unbounded, ld.Items, sld, false},
+		{"list-lfrc", lr, spec.Unbounded, lr.Items, slr, false},
+		{"chaselev", cl, spec.Unbounded, cl.Items, scl, true},
+		{"greenwald", g, *capFlag, g.Items, nil, false},
+		{"mutex", m, *capFlag, m.Items, nil, false},
 	}
 }
 
@@ -189,6 +195,7 @@ func main() {
 				Items:        t.items,
 				Seed:         seed,
 				Recorder:     fr,
+				OwnerMode:    t.owner,
 			})
 			totalWindows += st.Windows
 			totalOps += st.Ops

@@ -61,7 +61,7 @@ func schedStress() int {
 	fmt.Printf("sched %10d runs %12d tasks  conservation certified ✓ (every accepted task ran exactly once)\n",
 		runs, tasks)
 	fmt.Printf("      joins: %d by Shutdown drain, %d by WaitGroup; backends:", drained, runs-drained)
-	for _, b := range []string{"array", "list", "list-dummy", "list-lfrc", "mutex"} {
+	for _, b := range []string{"array", "list", "list-dummy", "list-lfrc", "chaselev", "mutex"} {
 		fmt.Printf(" %s=%d", b, byBackend[b])
 	}
 	fmt.Printf("; elapsed %v\n", time.Since(start).Round(time.Millisecond))

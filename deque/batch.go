@@ -55,29 +55,38 @@ func (d *List[T]) PopRMany(max int) []T {
 	return popMany(max, d.core.PopRightMany, d.unbox)
 }
 
-// PopLMany implements Deque.  The mutex baseline takes the lock once
-// per chunk rather than once per element; telemetry is likewise batched
-// (one Add per chunk covering n pops).
+// PopLMany implements Deque.  The whole batch drains under a single
+// lock hold: the handle buffer is sized at min(max, Cap()) — capacity
+// bounds what any one drain can return — so the core is entered exactly
+// once however large max is.  (The previous implementation chunked
+// through popMany and re-acquired the lock once per 256 handles, which
+// understated the baseline in the batched-stealing comparisons.)
 func (d *Mutex[T]) PopLMany(max int) []T {
-	return popMany(max, d.batched(telemetry.Left, d.core.PopLeftMany), d.unbox)
+	return d.drain(max, telemetry.Left, d.core.PopLeftMany)
 }
 
-// PopRMany implements Deque.
+// PopRMany implements Deque.  Like PopLMany: one lock hold per call.
 func (d *Mutex[T]) PopRMany(max int) []T {
-	return popMany(max, d.batched(telemetry.Right, d.core.PopRightMany), d.unbox)
+	return d.drain(max, telemetry.Right, d.core.PopRightMany)
 }
 
-// batched wraps a core batch pop so each chunk's pop count lands in the
-// telemetry sink with a single Add.
-func (d *Mutex[T]) batched(end telemetry.End, pop func([]uint64) int) func([]uint64) int {
-	if d.inst == nil {
-		return pop
+// drain runs one single-lock-hold batch pop and unboxes the results;
+// telemetry is batched as one Add covering all n pops.
+func (d *Mutex[T]) drain(max int, end telemetry.End, pop func([]uint64) int) []T {
+	if max <= 0 {
+		return nil
 	}
-	return func(out []uint64) int {
-		n := pop(out)
-		if n > 0 {
-			d.inst.sink.Add(end, telemetry.Pops, uint64(n))
-		}
-		return n
+	buf := make([]uint64, min(max, d.core.Cap()))
+	n := pop(buf)
+	if n == 0 {
+		return nil
 	}
+	if d.inst != nil {
+		d.inst.sink.Add(end, telemetry.Pops, uint64(n))
+	}
+	out := make([]T, n)
+	for i, h := range buf[:n] {
+		out[i] = d.unbox(h)
+	}
+	return out
 }

@@ -1,36 +1,105 @@
 package deque
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
 
-// batchTargets builds one deque per implementation/variant for the
-// batch-pop tests, telemetry enabled so batched counting is exercised.
-func batchTargets(t *testing.T) map[string]Deque[int] {
+// batchBackends enumerates every public constructor for the batch-pop
+// table tests; mk builds a fresh deque per case so no case sees another's
+// leftovers.  canPushLeft is false for Chase–Lev, whose left end is
+// steal-only (PushLeft returns ErrUnsupported).
+var batchBackends = []struct {
+	name        string
+	mk          func() Deque[int]
+	canPushLeft bool
+}{
+	{"array", func() Deque[int] { return NewArray[int](1024, WithTelemetry()) }, true},
+	{"list", func() Deque[int] { return NewList[int](WithTelemetry()) }, true},
+	{"list-dummy", func() Deque[int] { return NewList[int](WithDummyNodes(), WithTelemetry()) }, true},
+	{"list-lfrc", func() Deque[int] { return NewList[int](WithLFRC(), WithTelemetry()) }, true},
+	{"mutex", func() Deque[int] { return NewMutex[int](1024, WithTelemetry()) }, true},
+	{"chaselev", func() Deque[int] { return NewChaseLev[int](WithTelemetry()) }, false},
+}
+
+// seed fills the deque so it reads vals left-to-right, feeding the left
+// end where the backend supports it so both feed paths are exercised.
+func seed(t *testing.T, d Deque[int], canPushLeft bool, vals []int) {
 	t.Helper()
-	return map[string]Deque[int]{
-		"array":      NewArray[int](1024, WithTelemetry()),
-		"list":       NewList[int](WithTelemetry()),
-		"list-dummy": NewList[int](WithDummyNodes(), WithTelemetry()),
-		"list-lfrc":  NewList[int](WithLFRC(), WithTelemetry()),
-		"mutex":      NewMutex[int](1024, WithTelemetry()),
+	if canPushLeft {
+		for i := len(vals) - 1; i >= 0; i-- {
+			if err := d.PushLeft(vals[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for _, v := range vals {
+		if err := d.PushRight(v); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
-func TestPopLManyOrder(t *testing.T) {
-	for name, d := range batchTargets(t) {
-		t.Run(name, func(t *testing.T) {
-			for i := 0; i < 10; i++ {
-				if err := d.PushRight(i); err != nil {
-					t.Fatal(err)
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestPopManyTable checks PopLMany/PopRMany ordering, max clamping and
+// the max ≤ 0 and empty-deque edge cases across every backend.
+func TestPopManyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		seed []int
+		left bool // PopLMany when true, PopRMany when false
+		max  int
+		want []int
+	}{
+		{"L-order", seq(10), true, 4, []int{0, 1, 2, 3}},
+		{"R-order", seq(10), false, 4, []int{9, 8, 7, 6}},
+		{"L-clamp", seq(3), true, 100, []int{0, 1, 2}},
+		{"R-clamp", seq(3), false, 100, []int{2, 1, 0}},
+		{"L-zero", seq(3), true, 0, nil},
+		{"R-zero", seq(3), false, 0, nil},
+		{"L-negative", seq(3), true, -3, nil},
+		{"R-negative", seq(3), false, -3, nil},
+		{"L-empty", nil, true, 8, nil},
+		{"R-empty", nil, false, 8, nil},
+	}
+	for _, b := range batchBackends {
+		for _, tc := range cases {
+			t.Run(b.name+"/"+tc.name, func(t *testing.T) {
+				d := b.mk()
+				seed(t, d, b.canPushLeft, tc.seed)
+				op, got := "PopLMany", []int(nil)
+				if tc.left {
+					got = d.PopLMany(tc.max)
+				} else {
+					op, got = "PopRMany", d.PopRMany(tc.max)
 				}
-			}
-			got := d.PopLMany(4)
-			if want := []int{0, 1, 2, 3}; !equal(got, want) {
+				if !equal(got, tc.want) {
+					t.Fatalf("%s(%d) = %v, want %v", op, tc.max, got, tc.want)
+				}
+			})
+		}
+	}
+}
+
+// TestPopManyResidue checks a batch pop leaves the remaining elements
+// popping in order from both ends.
+func TestPopManyResidue(t *testing.T) {
+	for _, b := range batchBackends {
+		t.Run(b.name, func(t *testing.T) {
+			d := b.mk()
+			seed(t, d, b.canPushLeft, seq(10))
+			if got, want := d.PopLMany(4), []int{0, 1, 2, 3}; !equal(got, want) {
 				t.Fatalf("PopLMany(4) = %v, want %v", got, want)
 			}
-			// Remaining elements still pop in order from either end.
 			if v, err := d.PopLeft(); err != nil || v != 4 {
 				t.Fatalf("PopLeft after batch = %d, %v; want 4", v, err)
 			}
@@ -41,57 +110,27 @@ func TestPopLManyOrder(t *testing.T) {
 	}
 }
 
-func TestPopRManyOrder(t *testing.T) {
-	for name, d := range batchTargets(t) {
-		t.Run(name, func(t *testing.T) {
-			for i := 0; i < 10; i++ {
-				if err := d.PushRight(i); err != nil {
-					t.Fatal(err)
-				}
-			}
-			got := d.PopRMany(4)
-			if want := []int{9, 8, 7, 6}; !equal(got, want) {
-				t.Fatalf("PopRMany(4) = %v, want %v", got, want)
-			}
-		})
+// TestChaseLevPushLeftUnsupported pins the documented contract: PushLeft
+// fails with ErrUnsupported and leaves the deque untouched.
+func TestChaseLevPushLeftUnsupported(t *testing.T) {
+	d := NewChaseLev[int]()
+	if err := d.PushLeft(1); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("PushLeft = %v, want ErrUnsupported", err)
 	}
-}
-
-func TestPopManyShortAndEmpty(t *testing.T) {
-	for name, d := range batchTargets(t) {
-		t.Run(name, func(t *testing.T) {
-			if got := d.PopLMany(8); got != nil {
-				t.Fatalf("PopLMany on empty = %v, want nil", got)
-			}
-			if got := d.PopRMany(8); got != nil {
-				t.Fatalf("PopRMany on empty = %v, want nil", got)
-			}
-			if got := d.PopLMany(0); got != nil {
-				t.Fatalf("PopLMany(0) = %v, want nil", got)
-			}
-			if got := d.PopLMany(-3); got != nil {
-				t.Fatalf("PopLMany(-3) = %v, want nil", got)
-			}
-			for i := 0; i < 3; i++ {
-				if err := d.PushLeft(i); err != nil {
-					t.Fatal(err)
-				}
-			}
-			// max beyond the population: return what is there, stop at empty.
-			if got, want := d.PopRMany(100), []int{0, 1, 2}; !equal(got, want) {
-				t.Fatalf("PopRMany(100) = %v, want %v", got, want)
-			}
-		})
+	if _, err := d.PopLeft(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("deque not empty after rejected PushLeft: %v", err)
 	}
 }
 
 // TestPopManyBeyondChunk drains a population larger than the internal
-// chunk buffer in one call, covering the chunked-refill path.
+// chunk buffer in one call, covering the chunked-refill path (and, for
+// Chase–Lev, the chained span-sized batch claims).
 func TestPopManyBeyondChunk(t *testing.T) {
 	const n = popManyChunk*2 + 17
 	for name, d := range map[string]Deque[int]{
-		"list":  NewList[int](),
-		"mutex": NewMutex[int](n, WithTelemetry()),
+		"list":     NewList[int](),
+		"mutex":    NewMutex[int](n, WithTelemetry()),
+		"chaselev": NewChaseLev[int](),
 	} {
 		t.Run(name, func(t *testing.T) {
 			for i := 0; i < n; i++ {
@@ -114,10 +153,13 @@ func TestPopManyBeyondChunk(t *testing.T) {
 
 // TestPopManyConcurrent races a batch-stealing thief against an owner
 // pushing and popping its own right end; every pushed value must be
-// consumed exactly once between the two.
+// consumed exactly once between the two.  The access pattern — one owner
+// on the right, one thief on the left — satisfies every backend's
+// contract, including Chase–Lev's owner-only right end.
 func TestPopManyConcurrent(t *testing.T) {
-	for name, d := range batchTargets(t) {
-		t.Run(name, func(t *testing.T) {
+	for _, b := range batchBackends {
+		t.Run(b.name, func(t *testing.T) {
+			d := b.mk()
 			const total = 20000
 			seen := make([]int32, total)
 			var wg sync.WaitGroup
@@ -186,6 +228,8 @@ func itemsOf(d Deque[int]) ([]int, error) {
 	case *Array[int]:
 		return v.Items()
 	case *List[int]:
+		return v.Items()
+	case *ChaseLev[int]:
 		return v.Items()
 	case *Mutex[int]:
 		out := []int{}

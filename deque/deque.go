@@ -42,6 +42,11 @@ var (
 	// ErrFull is returned by Push operations on a full deque (Array) or
 	// when the node/slot arena is exhausted (List).
 	ErrFull = errors.New("deque: full")
+	// ErrUnsupported is returned by operations an implementation does not
+	// provide: the Chase–Lev deque's PushLeft (the algorithm is
+	// single-ended-push — see NewChaseLev).  Callers that need both push
+	// ends must pick a DCAS backend.
+	ErrUnsupported = errors.New("deque: operation not supported by this implementation")
 )
 
 // Deque is a linearizable double-ended queue of elements of type T.
@@ -199,8 +204,8 @@ func WithEagerDelete() Option {
 	return func(c *config) { c.eagerDelete = true }
 }
 
-// WithMaxNodes bounds the list deque's node arena (default 1<<20 live
-// elements).  No effect on the array deque.
+// WithMaxNodes bounds the list and Chase–Lev deques' element arenas
+// (default 1<<20 live elements).  No effect on the array deque.
 func WithMaxNodes(n int) Option {
 	return func(c *config) { c.maxNodes = n }
 }

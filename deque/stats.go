@@ -49,6 +49,9 @@ type EndStats struct {
 	// array and mutex deques.
 	LogicalDeletes  uint64 `json:"logical_deletes"`
 	PhysicalDeletes uint64 `json:"physical_deletes"`
+	// Grows counts the Chase–Lev deque's circular-array doublings
+	// (attributed to the owner's end).  Zero for the fixed-capacity deques.
+	Grows uint64 `json:"grows"`
 }
 
 // RefStats are the LFRC reference-count transfer totals.  Zero unless the

@@ -69,4 +69,24 @@ var DefaultTable = map[string][]Obligation{
 		{Func: "LFRCDeque.PopLeftMany", Points: 0, Paper: "batch of Fig 24 pops"},
 		{Func: "LFRCDeque.PopRightMany", Points: 0, Paper: "batch of Fig 24 pops"},
 	},
+	// Chase–Lev deque (SPAA'05, with this library's stamped-top batch
+	// extension).  The owner's push linearizes at a plain release store
+	// of bottom — the algorithm's whole point is that the owner does not
+	// CAS — which the analyzer cannot annotate, so PushRight is obligated
+	// to zero CAS commit sites; the zero-count entry still machine-checks
+	// that no one adds a stray CAS to the push path.  Every other outcome
+	// commits at exactly one CompareAndSwap of the top word: the steal,
+	// the batch steal (k values at one CAS — the single annotated site
+	// covers all of them), and the owner's boundary pop (stamp bump /
+	// one-element race; its Empty return and far-from-frontier plain take
+	// are decided by loads ordered before or after that same word's
+	// history, not by additional RMWs).
+	"dcasdeque/internal/core/chaselev": {
+		{Func: "Deque.PushRight", Points: 0, Paper: "CL §3 pushBottom: plain bottom store"},
+		{Func: "Deque.PopRight", Points: 1, Paper: "CL §3 popBottom boundary CAS"},
+		{Func: "Deque.PopLeft", Points: 1, Paper: "CL §3 steal CAS"},
+		{Func: "Deque.PopLeftMany", Points: 1, Paper: "stamped-top batch claim CAS"},
+		{Func: "Deque.PopRightMany", Points: 0, Paper: "batch of popBottom pops"},
+		{Func: "Deque.PushLeft", Points: 0, Paper: "unsupported: CL has no pushTop"},
+	},
 }

@@ -87,6 +87,10 @@ const (
 	// PhysicalDeletes counts nodes physically spliced out of the list on
 	// this side (by this deque's deleteRight/deleteLeft passes).
 	PhysicalDeletes
+	// Grows counts storage growth events attributed to this end (the
+	// Chase–Lev core's circular-array doublings, which happen on the
+	// owner's push path).  Zero for the fixed-capacity cores.
+	Grows
 	// NumCounters sizes per-end counter blocks.
 	NumCounters
 )
@@ -108,6 +112,8 @@ func (c Counter) String() string {
 		return "logical_deletes"
 	case PhysicalDeletes:
 		return "physical_deletes"
+	case Grows:
+		return "grows"
 	default:
 		return "unknown"
 	}
@@ -232,6 +238,7 @@ type OpCounts struct {
 	Retries         uint64 `json:"retries"`
 	LogicalDeletes  uint64 `json:"logical_deletes"`
 	PhysicalDeletes uint64 `json:"physical_deletes"`
+	Grows           uint64 `json:"grows"`
 }
 
 // Ops is the end's completed-operation total (every push and pop,
@@ -258,6 +265,8 @@ func (o OpCounts) get(c Counter) uint64 {
 		return o.LogicalDeletes
 	case PhysicalDeletes:
 		return o.PhysicalDeletes
+	case Grows:
+		return o.Grows
 	default:
 		return 0
 	}
@@ -308,6 +317,7 @@ func addBlock(dst *OpCounts, b *endBlock) {
 	dst.Retries += b.c[Retries].Load()
 	dst.LogicalDeletes += b.c[LogicalDeletes].Load()
 	dst.PhysicalDeletes += b.c[PhysicalDeletes].Load()
+	dst.Grows += b.c[Grows].Load()
 }
 
 // Reset zeroes every counter.  Like Snapshot, it is not atomic with

@@ -43,6 +43,12 @@ type Config struct {
 	// PushBias, in percent, is the probability that a generated operation
 	// is a push (default 50).
 	PushBias int
+	// OwnerMode restricts generation to the Chase–Lev threading
+	// contract: thread 0 (the owner) draws from PushRight and PopRight,
+	// every other thread only from PopLeft.  The checker itself is
+	// unchanged — the windows are still verified against the full
+	// sequential deque spec.
+	OwnerMode bool
 	// Recorder, when non-nil, additionally records every operation into
 	// the flight recorder — one recorder window per stress window, with
 	// the window's capacity and initial contents — so the run leaves a
@@ -95,8 +101,12 @@ func Run(d Deque, cfg Config) (Stats, error) {
 			progs[t] = make([]hist.Kind, cfg.OpsPerThread)
 			args[t] = make([]uint64, cfg.OpsPerThread)
 			for i := range progs[t] {
+				if cfg.OwnerMode && t != 0 {
+					progs[t][i] = hist.PopLeft // thieves only steal
+					continue
+				}
 				if rng.IntN(100) < cfg.PushBias {
-					if rng.IntN(2) == 0 {
+					if !cfg.OwnerMode && rng.IntN(2) == 0 {
 						progs[t][i] = hist.PushLeft
 					} else {
 						progs[t][i] = hist.PushRight
@@ -104,10 +114,10 @@ func Run(d Deque, cfg Config) (Stats, error) {
 					args[t][i] = nextVal
 					nextVal++
 				} else {
-					if rng.IntN(2) == 0 {
-						progs[t][i] = hist.PopLeft
-					} else {
+					if cfg.OwnerMode || rng.IntN(2) != 0 {
 						progs[t][i] = hist.PopRight
+					} else {
+						progs[t][i] = hist.PopLeft
 					}
 				}
 			}

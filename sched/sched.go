@@ -17,9 +17,10 @@
 // The deque implementation is pluggable (WithArrayDeques, WithDeques):
 // the scheduler is written against the deque.Deque interface, so the
 // array deque of Section 3, the list deques of Section 4 (all three
-// reclamation variants) and the mutex baseline all slot in — the
-// sched experiment of dequebench races them against each other under
-// identical scheduling load.
+// reclamation variants), the native Chase–Lev work-stealing deque
+// (WithChaseLev — no DCAS emulation, the throughput backend) and the
+// mutex baseline all slot in — the sched experiment of dequebench
+// races them against each other under identical scheduling load.
 //
 // Worker lifecycle is spin → yield → park: a worker that misses finds
 // work a few times retries hot, then yields the processor, then parks
@@ -119,6 +120,22 @@ func WithArrayDeques(dopts ...deque.Option) Option {
 func WithListDeques(dopts ...deque.Option) Option {
 	return func(c *config) {
 		c.mkDeque = func(int) deque.Deque[Task] { return deque.NewList[Task](dopts...) }
+	}
+}
+
+// WithChaseLev selects the native single-CAS Chase–Lev work-stealing
+// deques for the workers, forwarding dopts (e.g. deque.WithTelemetry).
+// This is the backend the scheduler's access pattern was made for: each
+// worker is the sole user of its deque's owner end (PushRight in Spawn
+// and keep, PopRight in next — exactly the Chase–Lev owner contract),
+// while thieves only PopLMany the left end, so the hot path runs on
+// plain stores plus one CAS per steal batch with no DCAS emulation
+// underneath.  The worker deques grow instead of overflowing
+// (WithDequeCapacity does not apply); the injector stays a shared
+// array deque, since external submitters are not the owner.
+func WithChaseLev(dopts ...deque.Option) Option {
+	return func(c *config) {
+		c.mkDeque = func(int) deque.Deque[Task] { return deque.NewChaseLev[Task](dopts...) }
 	}
 }
 

@@ -30,6 +30,7 @@ func backends() map[string]Option {
 		"list-dummy": WithListDeques(deque.WithDummyNodes()),
 		"list-lfrc":  WithListDeques(deque.WithLFRC()),
 		"mutex":      WithMutexDeques(),
+		"chaselev":   WithChaseLev(),
 	}
 }
 
@@ -245,6 +246,43 @@ func TestDequeOverflowInline(t *testing.T) {
 	shutdownOK(t, s)
 	if want := int64(1<<11 - 1); n.Load() != want {
 		t.Fatalf("ran %d tasks, want %d", n.Load(), want)
+	}
+}
+
+// TestKeepWakeParked is the lost-wakeup regression for the keep() path:
+// when work arrives in a worker's deque only via a thief's surplus
+// re-push (a batch steal or injector drain keeping its extras), a
+// parked worker must be woken to go steal it.  Without keep's wake the
+// task below would sit in worker 0's deque with every worker parked and
+// no other wake source, and the test would time out.
+func TestKeepWakeParked(t *testing.T) {
+	s := New(WithWorkers(2), WithTelemetry(), WithSpinRounds(1))
+	defer shutdownOK(t, s)
+	// No work has ever been submitted, so both workers park as soon as
+	// they spin out.  Parks is counted just before the blocking receive,
+	// so poll until both have reached it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := s.Stats()
+		if st.Total.Parks >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never parked: %+v", st.Total)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Simulate the tail of a batch steal: surplus re-pushed through
+	// keep(), exactly as a thief would.  The task is "already pending"
+	// from keep's point of view, so account for it on the life word the
+	// way the original Submit/Spawn would have.
+	ran := make(chan int, 1)
+	s.life.Add(1)
+	s.workers[0].keep([]Task{func(w *Worker) { ran <- w.ID() }})
+	select {
+	case <-ran:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no worker woke to run surplus re-pushed via keep()")
 	}
 }
 

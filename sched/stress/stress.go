@@ -43,16 +43,16 @@ type Config struct {
 
 // Stats describes the scenario one Run executed.
 type Stats struct {
-	Workers  int
-	Backend  string
-	Submits  int
-	Spawned  uint64
-	Runs     uint64
-	Drained  bool // joined by Shutdown's drain instead of a WaitGroup
+	Workers int
+	Backend string
+	Submits int
+	Spawned uint64
+	Runs    uint64
+	Drained bool // joined by Shutdown's drain instead of a WaitGroup
 }
 
 // backendNames lists the deque implementations runs rotate through.
-var backendNames = []string{"array", "list", "list-dummy", "list-lfrc", "mutex"}
+var backendNames = []string{"array", "list", "list-dummy", "list-lfrc", "chaselev", "mutex"}
 
 func backendOption(name string) sched.Option {
 	switch name {
@@ -64,6 +64,8 @@ func backendOption(name string) sched.Option {
 		return sched.WithListDeques(deque.WithDummyNodes())
 	case "list-lfrc":
 		return sched.WithListDeques(deque.WithLFRC())
+	case "chaselev":
+		return sched.WithChaseLev()
 	default:
 		return sched.WithMutexDeques()
 	}

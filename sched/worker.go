@@ -137,11 +137,17 @@ func (w *Worker) fromInjector() (Task, bool) {
 
 // keep queues surplus tasks (from a batch steal or injector drain) on
 // the worker's own deque, overflowing like Spawn but without touching
-// the life word — these tasks are already pending.
+// the life word — these tasks are already pending.  Locally queued
+// surplus is advertised with one wake: a parked worker whose only way
+// to this work is stealing it back must hear that it exists (the wake
+// then propagates — each woken thief keeps and advertises its own
+// surplus in turn, fanning one wakeup out across the backlog).
 func (w *Worker) keep(ts []Task) {
+	queued := false
 	for _, t := range ts {
 		if err := w.dq.PushRight(t); err == nil {
 			w.size().Add(1)
+			queued = true
 			continue
 		}
 		if err := w.s.injector.PushRight(t); err == nil {
@@ -150,6 +156,9 @@ func (w *Worker) keep(ts []Task) {
 			continue
 		}
 		w.runTask(t)
+	}
+	if queued {
+		w.s.wakeOne(w.id)
 	}
 }
 

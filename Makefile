@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race check sched-stress sched-bench chaselev-bench
+.PHONY: all build lint test race check vet-fixtures sched-stress sched-bench chaselev-bench
 
 all: check
 
@@ -10,10 +10,16 @@ build:
 	$(GO) build ./...
 
 # lint = go vet + the repository's own proof-discipline analyzers
-# (atomicmix, lockpath, linpoint, padlayout; see DESIGN.md §7).
+# (atomicmix, atomicvalue, lockpath, stampwidth, hbpublish, linpoint,
+# telemhook, padlayout; see DESIGN.md §7 and §11).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dequevet ./...
+
+# The analyzers' own test suites: per-analyzer `// want` fixtures under
+# internal/analysis/*/testdata plus the driver's seeded-violation cases.
+vet-fixtures:
+	$(GO) test ./internal/analysis/... ./cmd/dequevet
 
 test:
 	$(GO) test ./...

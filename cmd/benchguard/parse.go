@@ -73,15 +73,20 @@ func headgate(spec string, head map[string][]float64) (string, float64, error) {
 	if !ok || cand == "" || ref == "" {
 		return "", 0, fmt.Errorf("bad -headgate %q, want candidate=reference", spec)
 	}
-	cs, ok := head[cand]
-	if !ok {
-		return "", 0, fmt.Errorf("-headgate candidate %q not in HEAD results", cand)
+	cs := head[cand]
+	if len(cs) == 0 {
+		return "", 0, fmt.Errorf("-headgate candidate %q produced no ns/op samples in the HEAD run "+
+			"(check the -bench pattern matches it and the benchmark actually ran)", cand)
 	}
-	rs, ok := head[ref]
-	if !ok {
-		return "", 0, fmt.Errorf("-headgate reference %q not in HEAD results", ref)
+	rs := head[ref]
+	if len(rs) == 0 {
+		return "", 0, fmt.Errorf("-headgate reference %q produced no ns/op samples in the HEAD run "+
+			"(check the -bench pattern matches it and the benchmark actually ran)", ref)
 	}
 	c, r := median(cs), median(rs)
+	if r == 0 {
+		return "", 0, fmt.Errorf("-headgate reference %q has a 0 ns/op median; overhead relative to it is undefined", ref)
+	}
 	pct := (c - r) / r * 100
 	return fmt.Sprintf("%-60s %10.1f vs %10.1f ns/op  %+6.2f%% (head gate vs %s)",
 		cand, c, r, pct, ref), pct, nil

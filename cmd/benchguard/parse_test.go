@@ -117,3 +117,27 @@ func TestHeadgate(t *testing.T) {
 		}
 	}
 }
+
+// A peer that ran zero iterations (filtered out by -bench, build-tagged
+// away, or crashed before emitting a result line) must produce a verdict
+// that names the missing side, not a bare "not found" or a NaN overhead.
+func TestHeadgateNoSamples(t *testing.T) {
+	head := map[string][]float64{
+		"New":   {110},
+		"Empty": {}, // present but sample-less
+	}
+	for _, spec := range []string{"Gone=New", "New=Gone", "Empty=New", "New=Empty"} {
+		_, _, err := headgate(spec, head)
+		if err == nil {
+			t.Fatalf("headgate(%q) accepted with a sample-less side", spec)
+		}
+		if !strings.Contains(err.Error(), "no ns/op samples") {
+			t.Fatalf("headgate(%q) error not diagnostic: %v", spec, err)
+		}
+	}
+	// A zero reference median must not divide through to ±Inf.
+	zero := map[string][]float64{"New": {110}, "Zed": {0}}
+	if _, _, err := headgate("New=Zed", zero); err == nil || !strings.Contains(err.Error(), "0 ns/op median") {
+		t.Fatalf("zero-median reference not rejected: %v", err)
+	}
+}

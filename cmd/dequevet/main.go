@@ -3,12 +3,19 @@
 //
 //	go run ./cmd/dequevet ./...
 //
-// It applies the four analyzers —
+// It applies the eight analyzers —
 //
-//	atomicmix  atomics and plain accesses must not mix on one word
-//	lockpath   every spin/bit/end-lock acquire releases on all paths
-//	linpoint   linearization-point annotations match the Section 5 table
-//	padlayout  //dequevet:contended fields keep a false-sharing range apart
+//	atomicmix    atomics and plain accesses must not mix on one word
+//	atomicvalue  no value-using atomic Or/And (go1.24.0 amd64 miscompile)
+//	lockpath     every spin/bit/end-lock acquire releases on all paths
+//	stampwidth   packed words match their //dequevet:packed layout, and
+//	             every CAS on a stamped word rebuilds its ABA armor
+//	hbpublish    //dequevet:publish stores recheck their predicate
+//	             before blocking (lost-wakeup protection)
+//	linpoint     linearization-point annotations match the Section 5 table
+//	telemhook    commit sites increment their obligated telemetry
+//	             counters (static half of the conservation law)
+//	padlayout    //dequevet:contended fields keep a false-sharing range apart
 //
 // — and prints one line per finding.  Exit status: 0 clean, 1 findings,
 // 2 usage or load error.  CI runs it as a required step; a deliberate
@@ -22,17 +29,27 @@ import (
 	"os"
 
 	"dcasdeque/internal/analysis/atomicmix"
+	"dcasdeque/internal/analysis/atomicvalue"
 	"dcasdeque/internal/analysis/framework"
+	"dcasdeque/internal/analysis/hbpublish"
 	"dcasdeque/internal/analysis/linpoint"
 	"dcasdeque/internal/analysis/lockpath"
 	"dcasdeque/internal/analysis/padlayout"
+	"dcasdeque/internal/analysis/stampwidth"
+	"dcasdeque/internal/analysis/telemhook"
 )
 
-// analyzers is the dequevet suite, in reporting-priority order.
+// analyzers is the dequevet suite, in reporting-priority order: word-
+// level access discipline first, then the protocol analyzers, then the
+// annotation/bookkeeping cross-checks, then layout.
 var analyzers = []*framework.Analyzer{
 	atomicmix.Analyzer,
+	atomicvalue.Analyzer,
 	lockpath.Analyzer,
+	stampwidth.Analyzer,
+	hbpublish.Analyzer,
 	linpoint.Analyzer,
+	telemhook.Analyzer,
 	padlayout.Analyzer,
 }
 

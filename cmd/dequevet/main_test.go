@@ -29,7 +29,10 @@ func writeModule(t *testing.T, module string, files map[string]string) string {
 // The seeded sources below each violate exactly one analyzer's discipline,
 // mirroring the acceptance scenarios: a plain read of an atomically
 // written field, an acquire with a lock-leaking return path, a duplicate
-// linearization-point annotation, and two contended fields on one line.
+// linearization-point annotation, two contended fields on one line, a
+// packed-word const that disagrees with its declared layout, a publish
+// store that blocks without rechecking, a commit site that moves none of
+// its obligated telemetry counters, and a value-using atomic Or.
 
 const atomicMixSrc = `package p
 
@@ -96,6 +99,69 @@ type ends struct {
 }
 `
 
+// stampSrc declares idx as 48 bits wide but keeps the 40-bit constants:
+// both idxBits and idxMask disagree with the annotated layout.
+const stampSrc = `package p
+
+import "sync/atomic"
+
+const idxBits = 40
+const idxMask = uint64(1)<<idxBits - 1
+
+type D struct {
+	//dequevet:packed idx:48 stamp:16
+	top atomic.Uint64
+}
+`
+
+// publishSrc publishes a claim and parks without ever rechecking the
+// declared predicate — the canonical lost-wakeup shape.
+const publishSrc = `package p
+
+type W struct {
+	ready bool
+	wake  chan struct{}
+}
+
+func ready(w *W) bool { return w.ready }
+
+func park(w *W, n *int) {
+	*n++ //dequevet:publish recheck=ready
+	<-w.wake
+}
+`
+
+// telemSrc is placed at the repo's chaselev package path so the real
+// obligation table applies: PopLeft's steal commit declares counters
+// {Pops, EmptyHits} but the body increments neither.  (linpoint also
+// reports the table functions this stub omits; the case only requires
+// that telemhook fires.)
+const telemSrc = `package chaselev
+
+import "sync/atomic"
+
+type Deque struct{ top atomic.Uint64 }
+
+func (d *Deque) PopLeft() (uint64, bool) {
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, w+1) { // linearization point: steal commit
+		return w, true
+	}
+	return 0, false
+}
+`
+
+// atomicValueSrc uses the value returned by atomic Or — the go1.24.0
+// amd64 miscompile the atomicvalue analyzer exists to forbid.
+const atomicValueSrc = `package p
+
+import "sync/atomic"
+
+var mask atomic.Uint64
+
+func set() uint64 { return mask.Or(1) }
+`
+
 const cleanSrc = `package p
 
 import "sync/atomic"
@@ -122,6 +188,10 @@ func TestSeededViolationsFail(t *testing.T) {
 		{"lockpath", "scratch", "p.go", lockLeakSrc, "lockpath"},
 		{"linpoint", "dcasdeque", "internal/core/listdeque/p.go", linpointSrc, "linpoint"},
 		{"padlayout", "scratch", "p.go", padSrc, "padlayout"},
+		{"stampwidth", "scratch", "p.go", stampSrc, "stampwidth"},
+		{"hbpublish", "scratch", "p.go", publishSrc, "hbpublish"},
+		{"telemhook", "dcasdeque", "internal/core/chaselev/p.go", telemSrc, "telemhook"},
+		{"atomicvalue", "scratch", "p.go", atomicValueSrc, "atomicvalue"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

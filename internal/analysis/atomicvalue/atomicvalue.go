@@ -1,0 +1,114 @@
+// Package atomicvalue implements the dequevet analyzer that forbids
+// using the RESULT of sync/atomic's Or/And operations (both the method
+// forms atomic.Uint64.Or/And and the function forms atomic.OrUint64
+// etc.).
+//
+// The toolchain this module pins, go1.24.0, miscompiles the
+// value-returning form of the Or/And intrinsics on amd64 (fixed in
+// go1.24.1, golang.org/issue 71817): the old value the intrinsic
+// returns can be clobbered, so code like
+//
+//	old := s.life.Or(drainBit)   // old may be garbage on go1.24.0/amd64
+//
+// silently corrupts whatever protocol consumes old.  sched.Shutdown hit
+// exactly this and works around it with a CompareAndSwap loop; this
+// analyzer mechanizes that workaround module-wide so the next packed
+// word protocol cannot reintroduce it by accident.
+//
+// Discarding the result is always safe — the store side of the
+// intrinsic is correct — so statement-position calls (`p.mask.And(^bits)`)
+// pass.  When the module's floor toolchain reaches go1.24.1 a
+// value-using call may be allowlisted explicitly:
+//
+//	old := s.life.Or(drainBit) //dequevet:atomicvalue-ok floor is go1.24.1+
+//
+// The annotation is an auditable claim about the build environment, not
+// a local style waiver, which is why it must be spelled at every site.
+package atomicvalue
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dcasdeque/internal/analysis/framework"
+)
+
+// AllowDirective is the annotation that waives the check at one call.
+const AllowDirective = "atomicvalue-ok"
+
+// Analyzer is the atomicvalue analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicvalue",
+	Doc: "forbid value-using sync/atomic Or/And calls: go1.24.0 amd64 " +
+		"miscompiles the value-returning intrinsic form (use a CAS loop, " +
+		"or annotate //dequevet:atomicvalue-ok on a >=go1.24.1 floor)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	dirs := framework.NewDirectives(pass.Fset, pass.Files)
+	framework.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicOrAnd(pass, call) {
+			return
+		}
+		if resultDiscarded(call, stack) {
+			return
+		}
+		if dirs.Covers(call.Pos(), AllowDirective) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"result of atomic %s is used: go1.24.0 miscompiles the value-returning Or/And intrinsics on amd64; "+
+				"use a CompareAndSwap loop, or annotate //dequevet:%s once the floor toolchain is >=go1.24.1",
+			callName(call), AllowDirective)
+	})
+	return nil, nil
+}
+
+// isAtomicOrAnd reports whether the call resolves to a sync/atomic Or or
+// And: the typed-word methods (Uint64.Or, Int32.And, ...) or the
+// package-level functions (OrUint64, AndUint32, ...).
+func isAtomicOrAnd(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	return name == "Or" || name == "And" ||
+		strings.HasPrefix(name, "Or") || strings.HasPrefix(name, "And")
+}
+
+// resultDiscarded reports whether the call's value is thrown away: the
+// call is a statement of its own (ExprStmt), or the subject of go/defer.
+func resultDiscarded(call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.ExprStmt:
+			return true
+		case *ast.GoStmt:
+			return p.Call == call
+		case *ast.DeferStmt:
+			return p.Call == call
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// callName prints the called selector for the diagnostic ("Uint64.Or"
+// style when the receiver type is visible, the selector name otherwise).
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Or/And"
+}

@@ -1,0 +1,16 @@
+package atomicvalue_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/atomicvalue"
+	"dcasdeque/internal/analysis/framework/atest"
+)
+
+func TestAtomicValue(t *testing.T) {
+	atest.Run(t, "testdata", atomicvalue.Analyzer, "a")
+}
+
+func TestAtomicValueClean(t *testing.T) {
+	atest.RunClean(t, "testdata", atomicvalue.Analyzer, "clean")
+}

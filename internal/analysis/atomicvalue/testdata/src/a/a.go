@@ -1,0 +1,39 @@
+// Fixture: every way the go1.24.0 amd64 Or/And miscompile can be
+// reintroduced — the value-returning intrinsic form in expression
+// position, through both the typed-word methods and the package-level
+// functions.
+package a
+
+import "sync/atomic"
+
+var word atomic.Uint64
+var word32 atomic.Uint32
+var raw uint64
+
+func methodOr() uint64 {
+	return word.Or(1 << 63) // want `result of atomic Or is used`
+}
+
+func methodAnd() {
+	if word32.And(0x7) != 0 { // want `result of atomic And is used`
+		return
+	}
+}
+
+func assigned() {
+	old := word.Or(4) // want `result of atomic Or is used`
+	_ = old
+}
+
+func pkgFunc() uint64 {
+	return atomic.OrUint64(&raw, 2) // want `result of atomic OrUint64 is used`
+}
+
+func pkgFuncAnd() {
+	v := atomic.AndUint64(&raw, ^uint64(0xff)) // want `result of atomic AndUint64 is used`
+	_ = v
+}
+
+func inArgument(sink func(uint64)) {
+	sink(word.Or(8)) // want `result of atomic Or is used`
+}

@@ -1,0 +1,40 @@
+// Fixture: the permitted forms — the result discarded (the store side
+// of the intrinsic is correct), an explicitly allowlisted value use, a
+// CAS loop standing in for the value-returning form, and Or/And methods
+// that have nothing to do with sync/atomic.
+package clean
+
+import "sync/atomic"
+
+var word atomic.Uint64
+var raw uint64
+
+// discarded: statement-position calls throw the value away.
+func discarded(bits uint64) {
+	word.And(^bits)
+	atomic.OrUint64(&raw, bits)
+}
+
+// allowlisted: the value-using form under the auditable annotation that
+// claims a >=go1.24.1 floor toolchain.
+func allowlisted() uint64 {
+	return word.Or(1) //dequevet:atomicvalue-ok fixture claims go1.24.1 floor
+}
+
+// casLoop is the sanctioned replacement on go1.24.0: read the old value
+// out of a CompareAndSwap loop instead of out of the intrinsic.
+func casLoop(bits uint64) uint64 {
+	for {
+		old := word.Load()
+		if word.CompareAndSwap(old, old|bits) {
+			return old
+		}
+	}
+}
+
+// notAtomic: a same-named method on an unrelated type stays silent.
+type set struct{ bits uint64 }
+
+func (s *set) Or(b uint64) uint64 { s.bits |= b; return s.bits }
+
+func unrelated(s *set) uint64 { return s.Or(2) }

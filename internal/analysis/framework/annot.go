@@ -63,6 +63,52 @@ func directiveName(comment string) string {
 	return text
 }
 
+// RawDirective is one `//dequevet:<name> [args]` comment with its
+// argument text preserved, for directives whose grammar carries payload
+// (`packed idx:40 stamp:24`, `publish recheck=top.Load`).  Args is the
+// text after the name with any trailing `// want ...` expectation
+// stripped, so fixture files can carry a directive and a want comment on
+// the same line.
+type RawDirective struct {
+	Name string
+	Args string
+	Pos  token.Pos
+	File string
+	Line int
+}
+
+// AllDirectives returns every dequevet directive in the files, with args.
+func AllDirectives(fset *token.FileSet, files []*ast.File) []RawDirective {
+	var out []RawDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := directiveName(c.Text)
+				if name == "" {
+					continue
+				}
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				text = strings.TrimPrefix(text, "dequevet:")
+				text = strings.TrimPrefix(text, name)
+				// Fixture files append `// want ...` expectations after
+				// directives; everything from an inner `//` on is not args.
+				if i := strings.Index(text, "//"); i >= 0 {
+					text = text[:i]
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, RawDirective{
+					Name: name,
+					Args: strings.TrimSpace(text),
+					Pos:  c.Pos(),
+					File: pos.Filename,
+					Line: pos.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
 // Covers reports whether a directive of the given name governs pos.
 func (d *Directives) Covers(pos token.Pos, name string) bool {
 	p := d.fset.Position(pos)

@@ -1,0 +1,121 @@
+// Package hbpublish implements the dequevet analyzer that checks the
+// publish-then-recheck (Dekker) protocol behind every annotated publish
+// store.
+//
+// The scheduler's sleep path and the Chase–Lev owner pop both rely on
+// the same two-sided handshake: one side publishes its state with a
+// store (the idle-stack push, the bottom-cursor store), then re-examines
+// the condition the other side may have changed concurrently, and only
+// then commits to blocking (or to taking the element).  Skipping the
+// recheck is the classic lost-wakeup bug: the store and the other side's
+// test race, both observe the pre-publish world, and a worker parks
+// forever.  TestKeepWakeParked catches one instance dynamically; this
+// analyzer pins the shape statically at every annotated site:
+//
+//	s.idle.push(w.id) //dequevet:publish recheck=workAvailable,quiesced
+//
+// declares that between this statement and the function's first
+// potentially-blocking operation (channel receive/send, default-less
+// select, sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep) there must
+// be a call whose selector path ends in one of the named predicates.
+// The events are compared in source order — the straight-line order the
+// protocol code is written in — so the check is intraprocedural and
+// syntactic by design: it cannot prove the recheck correct, but it
+// cannot miss the recheck being deleted, reordered after the park, or
+// short-circuited away.
+package hbpublish
+
+import (
+	"go/token"
+	"strings"
+
+	"dcasdeque/internal/analysis/framework"
+)
+
+// Directive is the annotation name this analyzer consumes.
+const Directive = "publish"
+
+// Analyzer is the hbpublish analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "hbpublish",
+	Doc: "check every //dequevet:publish store is followed by a recheck " +
+		"of its guarding predicate before any blocking operation " +
+		"(lost-wakeup protection for Dekker-style publish/recheck sites)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	flows := framework.Flows(pass)
+	for _, dir := range framework.AllDirectives(pass.Fset, pass.Files) {
+		if dir.Name != Directive {
+			continue
+		}
+		specs, ok := parseArgs(dir.Args)
+		if !ok {
+			pass.Reportf(dir.Pos, "malformed publish annotation %q: want //dequevet:publish recheck=<name>[,<name>...]", dir.Args)
+			continue
+		}
+		fl := framework.FlowAt(flows, dir.Pos)
+		if fl == nil {
+			pass.Reportf(dir.Pos, "publish annotation outside any function body")
+			continue
+		}
+		stmt := fl.StmtOnLine(dir.File, dir.Line)
+		if stmt == nil {
+			stmt = fl.StmtOnLine(dir.File, dir.Line+1)
+		}
+		if stmt == nil {
+			pass.Reportf(dir.Pos, "publish annotation is not attached to a statement")
+			continue
+		}
+		check(pass, fl, stmt.End(), specs, dir)
+	}
+	return nil, nil
+}
+
+// parseArgs extracts the predicate names from "recheck=a,b".
+func parseArgs(args string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(args), "recheck=")
+	if !ok {
+		return nil, false
+	}
+	// The predicate list ends at the first space: trailing prose is
+	// commentary, the same as every other dequevet directive.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	var specs []string
+	for _, s := range strings.Split(rest, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			specs = append(specs, s)
+		}
+	}
+	return specs, len(specs) > 0
+}
+
+// check walks the publish statement's function tail in source order:
+// the first matching recheck must come before the first blocking op.
+func check(pass *framework.Pass, fl *framework.FuncFlow, after token.Pos, specs []string, dir framework.RawDirective) {
+	for _, ev := range fl.EventsAfter(after) {
+		if ev.Call != nil && matches(ev.Path, specs) {
+			return
+		}
+		if ev.Blocking {
+			pass.Reportf(ev.Pos, "goroutine may block here before rechecking %s: the //dequevet:publish store at line %d races the other side's test without its recheck (lost wakeup)",
+				strings.Join(specs, "/"), dir.Line)
+			return
+		}
+	}
+	pass.Reportf(dir.Pos, "publish store is never followed by a recheck of %s in this function", strings.Join(specs, "/"))
+}
+
+// matches reports whether a callee path ends in one of the predicate
+// names: "workAvailable" matches both a bare call and "s.workAvailable".
+func matches(path string, specs []string) bool {
+	for _, spec := range specs {
+		if path == spec || strings.HasSuffix(path, "."+spec) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package hbpublish_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/framework/atest"
+	"dcasdeque/internal/analysis/hbpublish"
+)
+
+func TestHBPublish(t *testing.T) {
+	atest.Run(t, "testdata", hbpublish.Analyzer, "a")
+}
+
+func TestHBPublishClean(t *testing.T) {
+	atest.RunClean(t, "testdata", hbpublish.Analyzer, "clean")
+}

@@ -1,0 +1,63 @@
+// Fixture: publish-then-recheck sites written correctly — the
+// canonical park shape, multi-predicate alternatives, selector-path
+// predicates, rechecks inside a retry loop, and a polling select with a
+// default case (which is not a park).
+package clean
+
+type cell struct{ v uint64 }
+
+func (c *cell) Load() uint64 { return c.v }
+
+type waiter struct {
+	wake chan struct{}
+	top  cell
+	n    int
+}
+
+func ready() bool { return false }
+
+func (w *waiter) workAvailable() bool { return w.n > 0 }
+
+func (w *waiter) quiesced() bool { return w.n == 0 }
+
+// park is the canonical shape: publish, recheck, only then block.
+func (w *waiter) park() {
+	w.n++ //dequevet:publish recheck=workAvailable,quiesced
+	if w.workAvailable() || w.quiesced() {
+		return
+	}
+	<-w.wake
+}
+
+// pop rechecks through a selector path inside its retry loop, the
+// Chase–Lev owner-pop shape.
+func (w *waiter) pop() uint64 {
+	w.n-- //dequevet:publish recheck=top.Load
+	for {
+		if v := w.top.Load(); v != 0 {
+			return v
+		}
+	}
+}
+
+// bareCall rechecks via a package-level predicate call.
+func (w *waiter) bareCall() {
+	w.n++ //dequevet:publish recheck=ready
+	if ready() {
+		return
+	}
+	<-w.wake
+}
+
+// poll uses a select with a default case: that is a poll, not a park,
+// and the recheck after it still satisfies the protocol.
+func (w *waiter) poll() {
+	w.n++ //dequevet:publish recheck=ready
+	select {
+	case <-w.wake:
+	default:
+	}
+	if ready() {
+		return
+	}
+}

@@ -48,6 +48,14 @@ type Obligation struct {
 	// Paper cites the clause of the paper the obligation derives from.
 	// Documentation only.
 	Paper string
+	// Counters names the telemetry counters this operation is obliged to
+	// move: each annotated commit site must increment at least one of
+	// them on its success path, and every named counter must be
+	// incremented somewhere in the function body.  This is the static
+	// half of the Σ-conservation law the telemetry package asserts
+	// dynamically; nil means the telemhook analyzer does not check the
+	// function.
+	Counters []string
 }
 
 // commitNames are the call names that can carry a linearization point.

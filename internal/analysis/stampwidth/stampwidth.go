@@ -1,0 +1,411 @@
+// Package stampwidth implements the dequevet analyzer that checks packed
+// atomic words against their declared field layouts.
+//
+// The module's single-CAS protocols pack several logical fields into one
+// 64-bit (or 32-bit) word: the Chase–Lev top word packs a claim index
+// with an ABA stamp, the scheduler's life word packs a pending count
+// with a drain flag, its idle stack packs a worker id with an ABA tag,
+// and internal/tagptr packs an arena index with a tag and a deleted
+// mark.  Each layout is defined twice — once by the mask/shift constants
+// the code computes with, and once by the prose describing it — and
+// nothing kept the two in sync.  This analyzer makes the layout a single
+// machine-checked declaration:
+//
+//	//dequevet:packed idx:40 stamp:24
+//	top atomic.Uint64
+//
+// declares the word's fields lowest-bits-first with their widths.  The
+// annotation attaches to a struct field, a package-level var or const,
+// or a type declaration (the same own-line/next-line rule as every other
+// dequevet directive).  The analyzer then enforces:
+//
+//   - the widths tile the word exactly: duplicated field names, widths
+//     summing past the word, and uncovered high bits are all layout
+//     bugs (overlap or drift between prose and code);
+//
+//   - every package-level constant named after a field — by the naming
+//     convention <field>Bits, <field>Mask, <field>Shift, <field>Bit
+//     (case-insensitive) — has exactly the value the declared layout
+//     implies: width, ((1<<width)-1)<<offset, offset, and 1<<offset
+//     respectively, with <field>Bit additionally requiring a
+//     single-bit field;
+//
+//   - every CompareAndSwap on a word whose layout includes ABA armor (a
+//     field named "stamp" or "tag") builds its new value out of the
+//     armor: the new-value expression (after expanding single-assignment
+//     locals one level) must mention an armor-named identifier, call a
+//     pack-style constructor, or shift by the armor's offset.  A CAS
+//     that writes the word without rebuilding the stamp is exactly the
+//     unstamped write that reintroduces the ABA races the armor exists
+//     to kill.
+package stampwidth
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"dcasdeque/internal/analysis/framework"
+)
+
+// Directive is the annotation name this analyzer consumes.
+const Directive = "packed"
+
+// suffixes of the constant-naming convention, with how each derives its
+// expected value from a field's (width, offset).
+var suffixes = []string{"bits", "mask", "shift", "bit"}
+
+// Analyzer is the stampwidth analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "stampwidth",
+	Doc: "check packed atomic words against their //dequevet:packed " +
+		"layout: field widths must tile the word, mask/shift/bit " +
+		"constants must match the declared geometry, and every CAS on a " +
+		"stamped word must rebuild its ABA armor",
+	Run: run,
+}
+
+// pfield is one declared field of a packed word.
+type pfield struct {
+	name   string
+	width  int
+	offset int
+}
+
+// packed is one parsed, resolved annotation.
+type packed struct {
+	dir    framework.RawDirective
+	fields []pfield
+	width  int          // bit width of the annotated word's type
+	obj    types.Object // the annotated field/var/const/type object
+	label  string       // how diagnostics name the word
+}
+
+func run(pass *framework.Pass) (any, error) {
+	var words []*packed
+	for _, dir := range framework.AllDirectives(pass.Fset, pass.Files) {
+		if dir.Name != Directive {
+			continue
+		}
+		words = append(words, resolve(pass, dir))
+	}
+	if len(words) == 0 {
+		return nil, nil
+	}
+	for _, w := range words {
+		checkLayout(pass, w)
+	}
+	checkConsts(pass, words)
+	checkCAS(pass, words)
+	return nil, nil
+}
+
+// resolve parses one annotation's field list and binds it to the
+// declaration on its line or the line below.
+func resolve(pass *framework.Pass, dir framework.RawDirective) *packed {
+	w := &packed{dir: dir, label: "<unresolved>"}
+	for _, spec := range strings.Fields(dir.Args) {
+		name, width, ok := strings.Cut(spec, ":")
+		n, err := strconv.Atoi(width)
+		if !ok || name == "" || err != nil || n < 1 {
+			pass.Reportf(dir.Pos, "malformed packed field %q: want <name>:<width> with width >= 1", spec)
+			continue
+		}
+		w.fields = append(w.fields, pfield{name: name, width: n, offset: sumWidths(w.fields)})
+	}
+	obj := annotatedObject(pass, dir)
+	if obj == nil {
+		pass.Reportf(dir.Pos, "packed annotation is not attached to a struct field, var, const, or type declaration")
+		return w
+	}
+	w.obj = obj
+	w.label = obj.Name()
+	w.width = wordWidth(obj.Type())
+	if w.width == 0 {
+		pass.Reportf(dir.Pos, "cannot determine the bit width of packed word %s (type %s); use a 32- or 64-bit integer or sync/atomic word", w.label, obj.Type())
+	}
+	return w
+}
+
+func sumWidths(fs []pfield) int {
+	n := 0
+	for _, f := range fs {
+		n += f.width
+	}
+	return n
+}
+
+// annotatedObject finds the declaration the directive governs: the
+// innermost Field, ValueSpec, or TypeSpec starting on the directive's
+// line (end-of-line form) or the line below (standalone form).
+func annotatedObject(pass *framework.Pass, dir framework.RawDirective) types.Object {
+	var found types.Object
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || tf.Name() != dir.File {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var id *ast.Ident
+			switch n := n.(type) {
+			case *ast.Field:
+				if len(n.Names) > 0 {
+					id = n.Names[0]
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) > 0 {
+					id = n.Names[0]
+				}
+			case *ast.TypeSpec:
+				id = n.Name
+			default:
+				return true
+			}
+			if id == nil {
+				return true
+			}
+			line := pass.Fset.Position(id.Pos()).Line
+			if line != dir.Line && line != dir.Line+1 {
+				return true
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				found = obj
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// wordWidth maps the annotated declaration's type to its bit width.
+func wordWidth(t types.Type) int {
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			switch obj.Name() {
+			case "Uint64", "Int64":
+				return 64
+			case "Uint32", "Int32":
+				return 32
+			}
+		}
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Uint64, types.Int64, types.UntypedInt:
+			return 64
+		case types.Uint32, types.Int32:
+			return 32
+		}
+	}
+	return 0
+}
+
+// checkLayout enforces that the declared fields tile the word exactly.
+func checkLayout(pass *framework.Pass, w *packed) {
+	seen := map[string]bool{}
+	for _, f := range w.fields {
+		if seen[f.name] {
+			pass.Reportf(w.dir.Pos, "packed word %s declares field %s twice (overlapping layout)", w.label, f.name)
+		}
+		seen[f.name] = true
+	}
+	if w.width == 0 || len(w.fields) == 0 {
+		return
+	}
+	if total := sumWidths(w.fields); total != w.width {
+		pass.Reportf(w.dir.Pos, "packed fields of %s cover %d bits of its %d-bit word (widths must tile the word exactly)", w.label, total, w.width)
+	}
+}
+
+// checkConsts verifies every constant named by the <field><Suffix>
+// convention against the geometry the annotation declares.
+func checkConsts(pass *framework.Pass, words []*packed) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		lower := strings.ToLower(name)
+		for _, w := range words {
+			for _, f := range w.fields {
+				base := strings.ToLower(f.name)
+				for _, suffix := range suffixes {
+					if lower != base+suffix {
+						continue
+					}
+					checkConst(pass, c, w, f, suffix)
+				}
+			}
+		}
+	}
+}
+
+func checkConst(pass *framework.Pass, c *types.Const, w *packed, f pfield, suffix string) {
+	var want uint64
+	switch suffix {
+	case "bits":
+		want = uint64(f.width)
+	case "shift":
+		want = uint64(f.offset)
+	case "bit":
+		if f.width != 1 {
+			pass.Reportf(c.Pos(), "const %s names a single-bit mask but packed field %s of %s is %d bits wide", c.Name(), f.name, w.label, f.width)
+			return
+		}
+		want = uint64(1) << f.offset
+	case "mask":
+		if f.width >= 64 {
+			want = ^uint64(0)
+		} else {
+			want = (uint64(1)<<f.width - 1) << f.offset
+		}
+	}
+	got, ok := constant.Uint64Val(constant.ToInt(c.Val()))
+	if !ok || got != want {
+		pass.Reportf(c.Pos(), "const %s = %s disagrees with the packed layout of %s: field %s is %d bits at offset %d, so its %s must be %#x",
+			c.Name(), c.Val().ExactString(), w.label, f.name, f.width, f.offset, suffix, want)
+	}
+}
+
+// armor returns the ABA-armor field of a layout (named stamp or tag).
+func armor(w *packed) (pfield, bool) {
+	for _, f := range w.fields {
+		switch strings.ToLower(f.name) {
+		case "stamp", "tag":
+			return f, true
+		}
+	}
+	return pfield{}, false
+}
+
+// casNames are the RMW selector names that can write a packed word.
+var casNames = map[string]bool{"CAS": true, "RawCAS": true}
+
+// checkCAS flags CompareAndSwap calls on stamped words whose new value
+// shows no evidence of rebuilding the armor field.
+func checkCAS(pass *framework.Pass, words []*packed) {
+	armored := map[types.Object]*packed{}
+	for _, w := range words {
+		if w.obj == nil {
+			continue
+		}
+		if _, ok := armor(w); ok {
+			armored[w.obj] = w
+		}
+	}
+	if len(armored) == 0 {
+		return
+	}
+	flows := framework.Flows(pass)
+	framework.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if !casNames[sel.Sel.Name] && !strings.HasPrefix(sel.Sel.Name, "CompareAndSwap") {
+			return
+		}
+		w := armored[receiverObject(pass, sel.X)]
+		if w == nil {
+			return
+		}
+		a, _ := armor(w)
+		newVal := call.Args[len(call.Args)-1]
+		var defs map[types.Object]ast.Expr
+		if fl := framework.FlowAt(flows, call.Pos()); fl != nil {
+			defs = fl.Defs()
+		}
+		if !rebuildsArmor(pass, newVal, a, defs, 1) {
+			pass.Reportf(call.Pos(), "CAS on packed word %s does not rebuild its %s field (bits %d..%d): an unstamped write reintroduces the ABA race the armor exists to prevent",
+				w.label, a.name, a.offset, a.offset+a.width-1)
+		}
+	})
+}
+
+// receiverObject resolves the CAS receiver expression to the object the
+// annotation was bound to (a field selector `d.top`, or a bare ident).
+func receiverObject(pass *framework.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	}
+	return nil
+}
+
+// rebuildsArmor reports whether the new-value expression shows evidence
+// of rebuilding the armor field: an armor-named identifier, a pack-style
+// constructor call, or a shift by the armor's offset.  Single-assignment
+// locals are expanded through the function's reaching definitions up to
+// depth hops, so `nw := pack(t, s+1); cas(w, nw)` still counts.
+func rebuildsArmor(pass *framework.Pass, e ast.Expr, a pfield, defs map[types.Object]ast.Expr, depth int) bool {
+	found := false
+	lowArmor := strings.ToLower(a.name)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), lowArmor) {
+				found = true
+				return false
+			}
+			if depth > 0 && defs != nil {
+				if obj := pass.TypesInfo.Uses[n]; obj != nil {
+					if def := defs[obj]; def != nil && rebuildsArmor(pass, def, a, defs, depth-1) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if strings.Contains(strings.ToLower(n.Sel.Name), lowArmor) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if name := calleeName(n); strings.Contains(strings.ToLower(name), "pack") {
+				found = true
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.SHL || n.Op == token.SHR {
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					if tv, ok := pass.TypesInfo.Types[op]; ok && tv.Value != nil {
+						if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact && v == uint64(a.offset) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName returns the rightmost name of a call's callee expression.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

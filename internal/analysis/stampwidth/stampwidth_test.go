@@ -1,0 +1,16 @@
+package stampwidth_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/framework/atest"
+	"dcasdeque/internal/analysis/stampwidth"
+)
+
+func TestStampWidth(t *testing.T) {
+	atest.Run(t, "testdata", stampwidth.Analyzer, "a")
+}
+
+func TestStampWidthClean(t *testing.T) {
+	atest.RunClean(t, "testdata", stampwidth.Analyzer, "clean")
+}

@@ -1,0 +1,62 @@
+// Fixture: every class of packed-word drift — constants disagreeing
+// with the declared geometry, layouts that do not tile the word,
+// duplicate fields, unattachable and malformed annotations, and a CAS
+// that writes a stamped word without rebuilding its armor.
+package a
+
+import "sync/atomic"
+
+// The annotation on D below declares idx:48, so these 40-bit constants
+// (matching field idx by the <field>{Bits,Mask} convention) are drift.
+// S also declares an idx field — at 40 bits, which these constants DO
+// match — so each line yields exactly one diagnostic, against D.
+const idxBits = 40                     // want `const idxBits = 40 disagrees with the packed layout of top`
+const idxMask = uint64(1)<<idxBits - 1 // want `const idxMask .* disagrees with the packed layout of top`
+
+type D struct {
+	//dequevet:packed idx:48 stamp:16
+	top atomic.Uint64
+}
+
+// drainBit sits one bit low for the declared 63-bit/1-bit split.
+const drainBit = uint64(1) << 62 // want `const drainBit .* disagrees with the packed layout of life`
+
+type L struct {
+	//dequevet:packed pending:63 drain:1
+	life atomic.Uint64
+}
+
+type short struct {
+	//dequevet:packed lo:32 hi:16 // want `cover 48 bits of its 64-bit word`
+	w atomic.Uint64
+}
+
+type dupe struct {
+	//dequevet:packed a:32 a:32 // want `declares field a twice`
+	w atomic.Uint64
+}
+
+type mal struct {
+	//dequevet:packed idx40 // want `malformed packed field "idx40"`
+	w atomic.Uint64
+}
+
+//dequevet:packed x:64 // want `not attached to a struct field`
+func unattached() {}
+
+//dequevet:packed f:8 // want `cannot determine the bit width`
+var notAWord string
+
+// S carries ABA armor, so every CAS on it must rebuild the stamp.
+type S struct {
+	//dequevet:packed idx:40 stamp:24
+	top atomic.Uint64
+}
+
+func (s *S) unstamped(w uint64) bool {
+	return s.top.CompareAndSwap(w, w+1) // want `does not rebuild its stamp field`
+}
+
+func (s *S) stamped(w uint64, stamp uint64) bool {
+	return s.top.CompareAndSwap(w, stamp<<40|(w+1)&idxMask)
+}

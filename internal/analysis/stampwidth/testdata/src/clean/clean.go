@@ -1,0 +1,62 @@
+// Fixture: packed words whose constants, layouts, and CAS sites all
+// agree with their declarations — struct-field, const, and type-alias
+// annotation attachment, the full constant-naming convention, and
+// stamped CAS evidence in its three accepted forms (armor identifier,
+// pack-style constructor, shift by the armor offset).
+package clean
+
+import "sync/atomic"
+
+const (
+	idxBits    = 40
+	idxMask    = uint64(1)<<idxBits - 1
+	stampShift = 40
+)
+
+type D struct {
+	//dequevet:packed idx:40 stamp:24
+	top atomic.Uint64
+}
+
+func pack(idx uint64, stamp uint64) uint64 { return stamp<<stampShift | idx&idxMask }
+
+// steal rebuilds the armor through a pack-style constructor.
+func (d *D) steal(w uint64) bool {
+	return d.top.CompareAndSwap(w, pack(w&idxMask+1, w>>idxBits+1))
+}
+
+// viaLocal routes the packed value through a single-assignment local,
+// which the analyzer expands one level.
+func (d *D) viaLocal(w uint64) bool {
+	nw := pack(0, w>>idxBits+1)
+	return d.top.CompareAndSwap(w, nw)
+}
+
+// inline rebuilds the armor with an explicit stamp identifier.
+func (d *D) inline(w uint64, stamp uint64) bool {
+	return d.top.CompareAndSwap(w, stamp<<stampShift|w&idxMask)
+}
+
+// A const-attached annotation: a 64-bit word whose high bit is an
+// in-word lock mark over a 63-bit anchor.
+//
+//dequevet:packed anchor:63 endlock:1
+const EndLockBit uint64 = 1 << 63
+
+// A type-alias-attached annotation, tagptr-style.
+//
+//dequevet:packed deleted:1 ptr:31 tag:32
+type Word = uint64
+
+const tagShift = 32
+
+type stack struct {
+	//dequevet:packed id:32 tag:32
+	head atomic.Uint64
+}
+
+// push rebuilds the tag by shifting at the armor's declared offset.
+func (s *stack) push(id uint32) bool {
+	old := s.head.Load()
+	return s.head.CompareAndSwap(old, (old>>tagShift+1)<<tagShift|uint64(id+1))
+}

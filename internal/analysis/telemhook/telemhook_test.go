@@ -1,0 +1,32 @@
+package telemhook_test
+
+import (
+	"testing"
+
+	"dcasdeque/internal/analysis/framework/atest"
+	"dcasdeque/internal/analysis/linpoint"
+	"dcasdeque/internal/analysis/telemhook"
+)
+
+func TestTelemHook(t *testing.T) {
+	table := map[string][]linpoint.Obligation{
+		"a": {
+			{Func: "Deque.Pop", Points: 1, Paper: "fixture", Counters: []string{"Pops"}},
+			{Func: "Deque.Push", Points: 1, Paper: "fixture", Counters: []string{"Pushes"}},
+		},
+	}
+	atest.Run(t, "testdata", telemhook.NewAnalyzer(table), "a")
+}
+
+func TestTelemHookClean(t *testing.T) {
+	table := map[string][]linpoint.Obligation{
+		"clean": {
+			{Func: "Deque.Pop", Points: 2, Paper: "fixture", Counters: []string{"Pops", "EmptyHits"}},
+			{Func: "Deque.Push", Points: 1, Paper: "fixture", Counters: []string{"Pushes"}},
+			{Func: "LDeque.Pop", Points: 1, Paper: "fixture", Counters: []string{"Pops", "EmptyHits"}},
+			// No Counters: the function is not checked at all.
+			{Func: "LDeque.Drain", Points: 0, Paper: "fixture"},
+		},
+	}
+	atest.Run(t, "testdata", telemhook.NewAnalyzer(table), "clean")
+}

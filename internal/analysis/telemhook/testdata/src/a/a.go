@@ -1,0 +1,40 @@
+// Fixture: commit sites whose telemetry bookkeeping has drifted — an
+// increment that moved off the success path, and a declared counter
+// that vanished from the function entirely.
+package a
+
+import "sync/atomic"
+
+// telemetry is a local stand-in for the real telemetry package: the
+// analyzer matches the `telemetry.<Counter>` selector syntactically.
+var telemetry struct {
+	Right, Left             int
+	Pops, Pushes, EmptyHits int
+}
+
+func note(args ...int) {}
+
+type Deque struct {
+	top atomic.Uint64
+}
+
+// Pop counts its outcome on the FAILURE path only: the body-wide
+// increment exists, but the commit's success region lost it.
+func (d *Deque) Pop() (uint64, bool) {
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, w-1) { // linearization point: pop commit // want `increments none of its declared telemetry counters`
+		return w, true
+	}
+	note(telemetry.Pops)
+	return 0, false
+}
+
+// Push declares Pushes but never counts it anywhere: the outcome class
+// is un-counted and the conservation law cannot balance.
+func (d *Deque) Push(v uint64) bool { // want `declares telemetry counter Pushes but never increments it`
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, v) { // linearization point: splice // want `increments none of its declared telemetry counters`
+		return true
+	}
+	return false
+}

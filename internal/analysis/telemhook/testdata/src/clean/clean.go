@@ -1,0 +1,73 @@
+// Fixture: commit sites whose telemetry bookkeeping is intact, through
+// all three success-region shapes the framework recognizes — the
+// `if CAS { ... }` body, the tail after a negated-CAS early exit, and
+// the `ok := CAS(...); if ok { ... }` one-level reaching definition.
+package clean
+
+import "sync/atomic"
+
+// telemetry is a local stand-in for the real telemetry package.
+var telemetry struct {
+	Right, Left             int
+	Pops, Pushes, EmptyHits int
+}
+
+func note(args ...int) {}
+
+type Deque struct {
+	top atomic.Uint64
+}
+
+func (d *Deque) Pop() (uint64, bool) {
+	w := d.top.Load()
+	if w == 0 {
+		if d.top.CompareAndSwap(w, w) { // linearization point: empty confirm
+			note(telemetry.EmptyHits)
+			return 0, false
+		}
+	}
+	if d.top.CompareAndSwap(w, w-1) { // linearization point: pop commit
+		note(telemetry.Pops)
+		return w, true
+	}
+	return 0, false
+}
+
+// Push commits through a negated CAS whose body leaves the function:
+// the success region is the tail after the if.
+func (d *Deque) Push(v uint64) bool {
+	w := d.top.Load()
+	if !d.top.CompareAndSwap(w, v) { // linearization point: splice
+		return false
+	}
+	note(telemetry.Pushes)
+	return true
+}
+
+type LDeque struct {
+	top atomic.Uint64
+}
+
+// Pop commits through an assigned CAS result tested by a following if,
+// the provider-polymorphic DCAS shape.
+func (d *LDeque) Pop() (uint64, bool) {
+	w := d.top.Load()
+	ok := d.top.CompareAndSwap(w, w-1) // linearization point: pop commit
+	if ok {
+		note(telemetry.Pops)
+		return w, true
+	}
+	note(telemetry.EmptyHits)
+	return 0, false
+}
+
+// Drain is obligated with no Counters: not checked, even though it
+// performs CAS operations and counts nothing.
+func (d *LDeque) Drain() {
+	for {
+		w := d.top.Load()
+		if w == 0 || d.top.CompareAndSwap(w, 0) {
+			return
+		}
+	}
+}

@@ -129,6 +129,7 @@ type Deque struct {
 
 	_ dcas.CacheLinePad
 	//dequevet:contended top claim word (index+stamp), CAS target of every steal
+	//dequevet:packed idx:40 stamp:24
 	top atomic.Uint64
 	_   dcas.CacheLinePad
 	//dequevet:contended bottom index, the owner's plain-store cursor
@@ -268,7 +269,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 	bo := d.backoff.Start()
 	var retries uint64
 	b := d.bottom.Load() - 1
-	d.bottom.Store(b)
+	d.bottom.Store(b) //dequevet:publish recheck=top.Load announce the claim, then re-read the frontier
 	a := d.array.Load()
 	for {
 		w := d.top.Load()

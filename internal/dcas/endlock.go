@@ -62,7 +62,10 @@ type EndLock struct {
 }
 
 // EndLockBit is the in-word lock mark EndLock sets on a1 while a DCAS is
-// in flight.  Anchor values must never use this bit.
+// in flight.  Anchor values must never use this bit: the word is a
+// 63-bit anchor value with the lock mark packed above it.
+//
+//dequevet:packed anchor:63 endlock:1
 const EndLockBit uint64 = 1 << 63
 
 // mark pins a1 at o1, or reports a1's current logical value and false.

@@ -19,29 +19,45 @@
 package tagptr
 
 // Word is a packed (index, tag, deleted) pointer word.
+//
+//dequevet:packed deleted:1 idx:31 tag:32
 type Word = uint64
+
+// Layout constants, one per boundary of the declared field layout above.
+// The stampwidth analyzer checks each against the //dequevet:packed
+// declaration by the <field>{Bit,Bits,Shift,Mask} naming convention, so
+// the geometry cannot drift between the annotation, the prose in the
+// package comment, and the code.
+const (
+	deletedBit Word = 1 << 0
+	idxShift        = 1
+	idxBits         = 31
+	idxMask    Word = (1<<idxBits - 1) << idxShift
+	tagShift        = 32
+)
 
 // Nil is the null pointer word: no index, no tag, deleted bit clear.
 const Nil Word = 0
 
-// MaxIndex is the largest packable node index.
-const MaxIndex = 1<<31 - 2
+// MaxIndex is the largest packable node index (the idx field stores
+// index+1 so that 0 encodes the nil pointer).
+const MaxIndex = 1<<idxBits - 2
 
 // Pack builds a pointer word.  idx must be ≤ MaxIndex.
 func Pack(idx uint32, tag uint32, deleted bool) Word {
 	if idx > MaxIndex {
 		panic("tagptr: index out of range")
 	}
-	w := uint64(tag)<<32 | uint64(idx+1)<<1
+	w := Word(tag)<<tagShift | Word(idx+1)<<idxShift
 	if deleted {
-		w |= 1
+		w |= deletedBit
 	}
 	return w
 }
 
 // Idx extracts the node index; ok is false for the nil pointer.
 func Idx(w Word) (idx uint32, ok bool) {
-	f := uint32(w) >> 1
+	f := uint32((w & idxMask) >> idxShift)
 	if f == 0 {
 		return 0, false
 	}
@@ -59,23 +75,23 @@ func MustIdx(w Word) uint32 {
 }
 
 // Tag extracts the reuse tag.
-func Tag(w Word) uint32 { return uint32(w >> 32) }
+func Tag(w Word) uint32 { return uint32(w >> tagShift) }
 
 // Deleted reports the deleted bit — true when the sentinel pointer holding
 // this word references a logically deleted node.
-func Deleted(w Word) bool { return w&1 != 0 }
+func Deleted(w Word) bool { return w&deletedBit != 0 }
 
 // WithDeleted returns the word with the deleted bit set as given, leaving
 // index and tag untouched (the pop operation's "marking" step).
 func WithDeleted(w Word, deleted bool) Word {
 	if deleted {
-		return w | 1
+		return w | deletedBit
 	}
-	return w &^ 1
+	return w &^ deletedBit
 }
 
 // Ptr returns the word with the deleted bit cleared: the pure
 // (index, tag) reference.  Two words reference the same node incarnation
 // iff their Ptr values are equal — the paper's "oldL.ptr == oldLLR.ptr"
 // comparison.
-func Ptr(w Word) Word { return w &^ 1 }
+func Ptr(w Word) Word { return w &^ deletedBit }

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dcasdeque/deque"
+)
+
+// TestChaseLevTaskPushLeftUnsupported pins the contract the scheduler
+// relies on when WithChaseLev is selected: the worker deques have no
+// left push (Chase–Lev is single-ended-push), the rejection is the
+// sentinel deque.ErrUnsupported, and a rejected push leaves the deque
+// untouched.  sched never calls PushLeft itself — workers push right,
+// thieves pop left — so this is the injector-instantiation of the
+// contract: Deque[Task] built by the same constructor WithChaseLev uses.
+func TestChaseLevTaskPushLeftUnsupported(t *testing.T) {
+	d := deque.NewChaseLev[Task]()
+	if err := d.PushLeft(func(*Worker) {}); !errors.Is(err, deque.ErrUnsupported) {
+		t.Fatalf("PushLeft = %v, want deque.ErrUnsupported", err)
+	}
+	if _, err := d.PopLeft(); !errors.Is(err, deque.ErrEmpty) {
+		t.Fatalf("deque not empty after rejected PushLeft: %v", err)
+	}
+}
+
+// TestChaseLevSpawnOverflow starves the Chase–Lev owner deques (a
+// 4-element arena) and the injector (capacity 8) so Spawn is forced
+// through all three of its paths — owner push, injector overflow, and
+// inline execution — and checks the conservation contract holds across
+// them: every spawned task runs exactly once.
+func TestChaseLevSpawnOverflow(t *testing.T) {
+	s := New(WithWorkers(2),
+		WithChaseLev(deque.WithMaxNodes(4)),
+		WithInjectorCapacity(8),
+		WithTelemetry())
+	const n = 500
+	var ran [n]atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(n + 1)
+	if err := s.Submit(func(w *Worker) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			i := i
+			w.Spawn(func(*Worker) {
+				ran[i].Add(1)
+				wg.Done()
+			})
+		}
+	}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wg.Wait()
+	shutdownOK(t, s)
+	for i := range ran {
+		if c := ran[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+	st, ok := s.Stats()
+	if !ok {
+		t.Fatal("telemetry enabled but Stats not ok")
+	}
+	if st.Total.Spawns != n {
+		t.Fatalf("Total.Spawns = %d, want %d", st.Total.Spawns, n)
+	}
+	if st.Total.Runs != n+1 {
+		t.Fatalf("Total.Runs = %d, want %d", st.Total.Runs, n+1)
+	}
+}

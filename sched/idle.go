@@ -15,9 +15,14 @@ import "sync/atomic"
 // is the one whose stack and deque metadata are still warm, so it is
 // the one a wakeup should restart.
 type idleStack struct {
+	//dequevet:packed id:32 tag:32
 	head atomic.Uint64
 	next []atomic.Uint32
 }
+
+// tagShift is the ABA tag's offset in the head word (checked against
+// the //dequevet:packed declaration above by the stampwidth analyzer).
+const tagShift = 32
 
 func (st *idleStack) init(workers int) {
 	st.next = make([]atomic.Uint32, workers)
@@ -30,7 +35,7 @@ func (st *idleStack) push(id int) {
 	for {
 		old := st.head.Load()
 		st.next[id].Store(uint32(old))
-		if st.head.CompareAndSwap(old, (old>>32+1)<<32|uint64(id+1)) {
+		if st.head.CompareAndSwap(old, (old>>tagShift+1)<<tagShift|uint64(id+1)) {
 			return
 		}
 	}
@@ -45,7 +50,7 @@ func (st *idleStack) pop() (int, bool) {
 			return 0, false
 		}
 		succ := st.next[top-1].Load()
-		if st.head.CompareAndSwap(old, (old>>32+1)<<32|uint64(succ)) {
+		if st.head.CompareAndSwap(old, (old>>tagShift+1)<<tagShift|uint64(succ)) {
 			return int(top - 1), true
 		}
 	}

@@ -210,8 +210,9 @@ type Scheduler struct {
 	workers  []*Worker
 	injector deque.Deque[Task]
 	sizes    []paddedCount // sizes[i] ≈ len(worker i's deque), for victim selection
-	injSize  atomic.Int64  // ≈ len(injector)
-	life     atomic.Uint64
+	injSize atomic.Int64 // ≈ len(injector)
+	//dequevet:packed pending:63 drain:1
+	life atomic.Uint64
 	idle     idleStack
 	sink     *telemetry.SchedSink
 	unreg    func()
@@ -321,7 +322,7 @@ func (s *Scheduler) TrySubmit(t Task) error {
 	}
 	// Publish the work (size increment), then look for a parked worker:
 	// the mirror image of the parking protocol's publish-idle-then-check.
-	s.injSize.Add(1)
+	s.injSize.Add(1) //dequevet:publish recheck=wakeOne the idle-stack check is the submitter's half of the Dekker handshake
 	s.note(telemetry.SchedExternal, telemetry.SchedSubmits)
 	s.wakeOne(telemetry.SchedExternal)
 	return nil
@@ -350,10 +351,19 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	s.stopping.Do(func() {
 		// Raise the drain bit, observing the pending count of the same
 		// instant: if nothing was pending right then, no release() will
-		// ever run to announce quiescence, so announce it here.  (A CAS
-		// loop rather than atomic.Uint64.Or: this toolchain's Or intrinsic
-		// miscompiles the value-using form on amd64, clobbering the
-		// register that held the receiver for the call below.)
+		// ever run to announce quiescence, so announce it here.
+		//
+		// This stays a CAS loop instead of the one-line
+		// `old := s.life.Or(drainBit)` on purpose: the module's floor
+		// toolchain is go1.24.0, whose amd64 backend miscompiles the
+		// VALUE-USING form of the atomic.Uint64.Or/And intrinsics
+		// (golang.org/issue 71817, fixed in go1.24.1) — the returned old
+		// value can be clobbered, here silently corrupting the
+		// pending==0 quiescence test below.  The atomicvalue analyzer
+		// now enforces this module-wide; when the floor toolchain
+		// reaches go1.24.1, replace the loop with the Or form annotated
+		// `//dequevet:atomicvalue-ok floor is go1.24.1` (the analyzer's
+		// per-site allowlist) and delete this paragraph.
 		old := s.life.Load()
 		for !s.life.CompareAndSwap(old, old|drainBit) {
 			old = s.life.Load()

@@ -55,12 +55,12 @@ func (w *Worker) Spawn(t Task) {
 	s.life.Add(1)
 	s.note(w.id, telemetry.SchedSpawns)
 	if err := w.dq.PushRight(t); err == nil {
-		w.size().Add(1)
+		w.size().Add(1) //dequevet:publish recheck=wakeOne advertise before a parker can miss the size
 		s.wakeOne(w.id)
 		return
 	}
 	if err := s.injector.PushRight(t); err == nil {
-		s.injSize.Add(1)
+		s.injSize.Add(1) //dequevet:publish recheck=wakeOne
 		s.wakeOne(w.id)
 		return
 	}
@@ -146,12 +146,12 @@ func (w *Worker) keep(ts []Task) {
 	queued := false
 	for _, t := range ts {
 		if err := w.dq.PushRight(t); err == nil {
-			w.size().Add(1)
+			w.size().Add(1) //dequevet:publish recheck=wakeOne the trailing wake advertises the batch
 			queued = true
 			continue
 		}
 		if err := w.s.injector.PushRight(t); err == nil {
-			w.s.injSize.Add(1)
+			w.s.injSize.Add(1) //dequevet:publish recheck=wakeOne
 			w.s.wakeOne(w.id)
 			continue
 		}
@@ -220,7 +220,7 @@ func (w *Worker) batchFor(v int) int {
 // raced our stack push could strand us), and blocks for a wake token.
 func (w *Worker) park() {
 	s := w.s
-	s.idle.push(w.id)
+	s.idle.push(w.id) //dequevet:publish recheck=workAvailable,quiesced the Dekker recheck below
 	if s.workAvailable() || s.quiesced() {
 		// Resolve the race by waking someone — possibly ourselves; either
 		// way the token is consumed below or by another worker who will

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race check vet-fixtures sched-stress sched-bench chaselev-bench
+.PHONY: all build lint test race check vet-fixtures sched-stress sched-bench chaselev-bench soak-smoke soak
 
 all: check
 
@@ -41,5 +41,22 @@ sched-bench:
 # chaselev), committed as BENCH_PR6.json (EXPERIMENTS.md CHASELEV).
 chaselev-bench:
 	$(GO) run ./cmd/dequebench -exp sched -ops 50000 -workers 1,2,4,8 -json BENCH_PR6.json
+
+# Memory-bounded soak smoke (CI-required): 90 seconds of race-
+# instrumented churn split across every backend × workload cell, with
+# quiescent conservation checks at every sample and a full-drain leak
+# audit — followed by the known-positive: the seeded LFRC leak (every
+# 64th release dropped) must be DETECTED or the step fails.  Artifacts
+# (occupancy timeline CSV + flight dump) are written on violation; see
+# EXPERIMENTS.md SOAK.
+soak-smoke:
+	$(GO) run -race ./cmd/dequesoak -d 90s
+	$(GO) run -race ./cmd/dequesoak -certify-leak -d 5s
+
+# The full long-haul run (not in CI — run before a release): an hour of
+# uninstrumented churn per the same matrix, then the leak certification.
+soak:
+	$(GO) run ./cmd/dequesoak -d 1h
+	$(GO) run ./cmd/dequesoak -certify-leak -d 30s
 
 check: build lint test race

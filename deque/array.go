@@ -13,6 +13,7 @@ import (
 type Array[T any] struct {
 	core  *arraydeque.Deque
 	slots *arena.Arena[T]
+	bound uint64 // WithMemoryBound budget; 0 = unbounded
 	inst  *instruments
 }
 
@@ -57,11 +58,14 @@ func NewArray[T any](capacity int, opts ...Option) *Array[T] {
 	// slot before discovering the deque is full, so slots for concurrent
 	// losing pushes must exist.  2×capacity+64 makes allocation failure
 	// unreachable in practice; if it ever fails the push reports ErrFull.
-	return &Array[T]{
+	d := &Array[T]{
 		core:  arraydeque.New(capacity, coreOpts...),
 		slots: arena.New[T](2*capacity+64, arena.WithBlockSize(256)),
+		bound: cfg.memBound,
 		inst:  inst,
 	}
+	inst.bind(d.memSnapshot)
+	return d
 }
 
 // Stats returns the deque's telemetry snapshot; ok is false (and the
@@ -108,6 +112,9 @@ func (d *Array[T]) unbox(h uint64) T {
 
 // PushLeft implements Deque.
 func (d *Array[T]) PushLeft(v T) error {
+	if err := d.admit(); err != nil {
+		return err
+	}
 	h, ok := d.box(v)
 	if !ok {
 		return ErrFull
@@ -121,6 +128,9 @@ func (d *Array[T]) PushLeft(v T) error {
 
 // PushRight implements Deque.
 func (d *Array[T]) PushRight(v T) error {
+	if err := d.admit(); err != nil {
+		return err
+	}
 	h, ok := d.box(v)
 	if !ok {
 		return ErrFull

@@ -34,6 +34,7 @@ import (
 type ChaseLev[T any] struct {
 	core  *chaselev.Deque
 	slots *arena.Arena[T]
+	bound uint64 // WithMemoryBound budget; 0 = unbounded
 	inst  *instruments
 }
 
@@ -63,11 +64,14 @@ func NewChaseLev[T any](opts ...Option) *ChaseLev[T] {
 	if inst != nil {
 		coreOpts = append(coreOpts, chaselev.WithTelemetry(inst.sink))
 	}
-	return &ChaseLev[T]{
+	d := &ChaseLev[T]{
 		core:  chaselev.New(coreOpts...),
 		slots: arena.New[T](cfg.maxNodes, arena.WithBlockSize(256)),
+		bound: cfg.memBound,
 		inst:  inst,
 	}
+	inst.bind(d.memSnapshot)
+	return d
 }
 
 // Stats returns the deque's telemetry snapshot; ok is false (and the
@@ -121,8 +125,12 @@ func (d *ChaseLev[T]) unbox(h uint64) T {
 func (d *ChaseLev[T]) PushLeft(v T) error { return ErrUnsupported }
 
 // PushRight implements Deque.  OWNER-ONLY: see the type comment.  It
-// fails only when the slot arena is exhausted.
+// fails only when the slot arena is exhausted (ErrFull) or the memory
+// bound rejects it (ErrMemoryBound).
 func (d *ChaseLev[T]) PushRight(v T) error {
+	if err := d.admit(); err != nil {
+		return err
+	}
 	h, ok := d.box(v)
 	if !ok {
 		return ErrFull

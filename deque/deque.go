@@ -47,6 +47,12 @@ var (
 	// single-ended-push — see NewChaseLev).  Callers that need both push
 	// ends must pick a DCAS backend.
 	ErrUnsupported = errors.New("deque: operation not supported by this implementation")
+	// ErrMemoryBound is returned by Push operations that would exceed the
+	// deque's WithMemoryBound budget after compaction failed to make room.
+	// Unlike ErrFull it signals a policy limit, not structural capacity:
+	// the deque keeps working and pushes succeed again once pops release
+	// enough live memory.
+	ErrMemoryBound = errors.New("deque: memory bound exceeded")
 )
 
 // Deque is a linearizable double-ended queue of elements of type T.
@@ -90,6 +96,7 @@ type config struct {
 	lfrc           bool
 	paddedCells    bool
 	maxNodes       int
+	memBound       uint64
 	backoff        *dcas.BackoffPolicy
 	telemetry      bool
 	telemetryName  string
@@ -208,4 +215,29 @@ func WithEagerDelete() Option {
 // (default 1<<20 live elements).  No effect on the array deque.
 func WithMaxNodes(n int) Option {
 	return func(c *config) { c.maxNodes = n }
+}
+
+// WithMemoryBound enforces a hard per-deque budget of bytes on live
+// memory: element slots plus the backend's auxiliary structures (list
+// nodes, LFRC objects, or the Chase–Lev ring chain), as reported by Mem.
+// A push that would exceed the budget first attempts compaction
+// (completing the list deques' deferred physical deletions, which frees
+// spliced-out nodes and retired dummies), and fails with ErrMemoryBound
+// only if the deque is still over budget — so a bounded deque degrades
+// into backpressure, not unbounded growth.  Bytes ≤ 0 disables the bound
+// (the default).  The budget covers live occupancy, not retained slabs:
+// arena slabs are never returned to the OS during a deque's lifetime, so
+// the bound caps what the high-water footprint can grow to.
+//
+// The bound is a policy limit checked at admission, so it is exact up to
+// concurrency (each in-flight push can overshoot by one element's bytes)
+// and, on the Chase–Lev backend, up to one ring doubling — ring growth
+// happens inside the core push after admission and is charged at the
+// next one.
+func WithMemoryBound(bytes int64) Option {
+	return func(c *config) {
+		if bytes > 0 {
+			c.memBound = uint64(bytes)
+		}
+	}
 }

@@ -18,6 +18,12 @@ type listCore interface {
 	PopLeftMany(out []uint64) int
 	PopRightMany(out []uint64) int
 	Items() ([]uint64, error)
+	// Compact completes pending physical deletions on both ends, freeing
+	// spliced-out nodes (and retired dummies) now instead of at the next
+	// same-side operation.
+	Compact()
+	// Occupancy returns the node arena's allocation ledger.
+	Occupancy() arena.Occupancy
 }
 
 // List is the unbounded linked-list DCAS deque of Section 4, carrying
@@ -26,7 +32,12 @@ type listCore interface {
 type List[T any] struct {
 	core  listCore
 	slots *arena.Arena[T]
-	inst  *instruments
+	lfrc  bool   // core is the LFRC representation (Mem attribution)
+	bound uint64 // WithMemoryBound budget; 0 = unbounded
+	// nodeBytes is the core's per-node footprint, cached for the bound's
+	// headroom estimate (a push costs one slot plus one node).
+	nodeBytes uint64
+	inst      *instruments
 }
 
 // WithDummyNodes selects the Figure 10 representation for NewList: the
@@ -93,11 +104,16 @@ func NewList[T any](opts ...Option) *List[T] {
 		core = listdeque.New(append(coreOpts,
 			listdeque.WithEagerDelete(cfg.eagerDelete))...)
 	}
-	return &List[T]{
-		core:  core,
-		slots: arena.New[T](cfg.maxNodes, arena.WithReuse(cfg.nodeReuse)),
-		inst:  inst,
+	d := &List[T]{
+		core:      core,
+		slots:     arena.New[T](cfg.maxNodes, arena.WithReuse(cfg.nodeReuse)),
+		lfrc:      cfg.lfrc,
+		bound:     cfg.memBound,
+		nodeBytes: core.Occupancy().SlotBytes,
+		inst:      inst,
 	}
+	inst.bind(d.memSnapshot)
+	return d
 }
 
 // Stats returns the deque's telemetry snapshot; ok is false (and the
@@ -149,6 +165,9 @@ func (d *List[T]) releaseUnpushed(h uint64) {
 
 // PushLeft implements Deque.
 func (d *List[T]) PushLeft(v T) error {
+	if err := d.admit(); err != nil {
+		return err
+	}
 	h, ok := d.box(v)
 	if !ok {
 		return ErrFull
@@ -162,6 +181,9 @@ func (d *List[T]) PushLeft(v T) error {
 
 // PushRight implements Deque.
 func (d *List[T]) PushRight(v T) error {
+	if err := d.admit(); err != nil {
+		return err
+	}
 	h, ok := d.box(v)
 	if !ok {
 		return ErrFull
@@ -192,6 +214,14 @@ func (d *List[T]) PopRight() (T, error) {
 	}
 	return d.unbox(h), nil
 }
+
+// Compact completes the deque's deferred physical deletions on both
+// ends now, freeing spliced-out nodes (and retired dummies) instead of
+// leaving them to the next same-side operation.  Bounded deques run the
+// same pass automatically before rejecting a push with ErrMemoryBound;
+// calling it directly is useful before reading Mem at a quiescent point.
+// Safe for concurrent use.
+func (d *List[T]) Compact() { d.core.Compact() }
 
 // Items returns the deque's contents left to right.  It must only be
 // called while no operations are in flight (tests, diagnostics).

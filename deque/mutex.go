@@ -1,6 +1,9 @@
 package deque
 
 import (
+	"sync/atomic"
+	"unsafe"
+
 	"dcasdeque/internal/baseline/mutexdeque"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/telemetry"
@@ -16,6 +19,17 @@ type Mutex[T any] struct {
 	slots []T
 	free  chan int
 	inst  *instruments
+
+	bound     uint64 // WithMemoryBound budget; 0 = unbounded
+	slotBytes uint64
+	// Wrapper-level slot ledger, mirroring the arena counters so the
+	// baseline reports Mem in the same shape (there is no arena
+	// underneath).  live is independent of allocs−frees, keeping the
+	// conservation invariant a real crosscheck here too.
+	memAllocs atomic.Uint64
+	memFrees  atomic.Uint64
+	memLive   atomic.Int64
+	memHW     atomic.Int64
 }
 
 // NewMutex returns an empty mutex-based deque with the given capacity.
@@ -39,15 +53,19 @@ func NewMutex[T any](capacity int, opts ...Option) *Mutex[T] {
 	// Slot headroom beyond capacity: pushes box before discovering the
 	// deque is full, so concurrent losing pushes need slots too.
 	nslots := 2*capacity + 64
+	var probe T
 	m := &Mutex[T]{
-		core:  mutexdeque.New(capacity),
-		slots: make([]T, nslots),
-		free:  make(chan int, nslots),
-		inst:  inst,
+		core:      mutexdeque.New(capacity),
+		slots:     make([]T, nslots),
+		free:      make(chan int, nslots),
+		bound:     cfg.memBound,
+		slotBytes: uint64(unsafe.Sizeof(probe)),
+		inst:      inst,
 	}
 	for i := 0; i < nslots; i++ {
 		m.free <- i
 	}
+	inst.bind(m.memSnapshot)
 	return m
 }
 
@@ -80,6 +98,10 @@ func (d *Mutex[T]) box(v T) (uint64, bool) {
 	select {
 	case i := <-d.free:
 		d.slots[i] = v
+		d.memAllocs.Add(1)
+		if l := d.memLive.Add(1); l > d.memHW.Load() {
+			d.memHW.Store(l) // racy max, same discipline as the arena's
+		}
 		return uint64(i) + 1, true
 	default:
 		return 0, false
@@ -91,12 +113,17 @@ func (d *Mutex[T]) unbox(h uint64) T {
 	v := d.slots[i]
 	var zero T
 	d.slots[i] = zero
+	d.memLive.Add(-1)
+	d.memFrees.Add(1)
 	d.free <- i
 	return v
 }
 
 // PushLeft implements Deque.
 func (d *Mutex[T]) PushLeft(v T) error {
+	if err := d.admit(); err != nil {
+		return err
+	}
 	h, ok := d.box(v)
 	if !ok {
 		d.note(telemetry.Left, telemetry.FullHits)
@@ -113,6 +140,9 @@ func (d *Mutex[T]) PushLeft(v T) error {
 
 // PushRight implements Deque.
 func (d *Mutex[T]) PushRight(v T) error {
+	if err := d.admit(); err != nil {
+		return err
+	}
 	h, ok := d.box(v)
 	if !ok {
 		d.note(telemetry.Right, telemetry.FullHits)

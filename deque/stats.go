@@ -106,20 +106,29 @@ func TelemetryHandler() http.Handler { return telemetry.Handler() }
 // instruments is the per-deque telemetry state the public wrappers carry
 // when telemetry is enabled; nil means disabled.
 type instruments struct {
+	name       string
 	sink       *telemetry.Sink
 	dcas       *dcas.AttrStats
 	unregister func()
 }
 
-// newInstruments builds the enabled-telemetry state: a counter sink, a
-// DCAS attribution table, and (when name is non-empty) an exporter
-// registration.
+// newInstruments builds the enabled-telemetry state: a counter sink and
+// a DCAS attribution table.  Exporter registration is deferred to bind,
+// which the constructor calls once the deque exists, so the registered
+// entry can include the deque's memory snapshotter.
 func newInstruments(name string) *instruments {
-	in := &instruments{sink: telemetry.NewSink(), dcas: new(dcas.AttrStats)}
-	if name != "" {
-		in.unregister = telemetry.Register(name, in.sink, &in.dcas.Stats)
+	return &instruments{name: name, sink: telemetry.NewSink(), dcas: new(dcas.AttrStats)}
+}
+
+// bind completes construction: when the deque was named
+// (WithTelemetryName), register its sink, DCAS stats and memory
+// snapshotter with the process-wide exporter.  nil-safe so constructors
+// can call it unconditionally.
+func (in *instruments) bind(mem func() telemetry.MemSnapshot) {
+	if in == nil || in.name == "" {
+		return
 	}
-	return in
+	in.unregister = telemetry.Register(in.name, in.sink, &in.dcas.Stats, mem)
 }
 
 // stats assembles the public snapshot.

@@ -30,6 +30,7 @@ package arena
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Nil is the reserved "no slot" index.  Valid slot indices returned by
@@ -59,9 +60,57 @@ type Arena[T any] struct {
 	free   atomic.Uint64 // Treiber head: tag<<32 | idx+1
 	blocks []atomic.Pointer[block[T]]
 
-	allocs atomic.Uint64
-	frees  atomic.Uint64
+	// Occupancy ledger.  live is an independent counter, NOT derived from
+	// allocs−frees, so the conservation invariant
+	//
+	//	allocs == live + frees + retired
+	//
+	// is a real crosscheck on the allocator (a lost or double count on any
+	// path breaks it) rather than a tautology.  frees counts slots returned
+	// to the freelist (reuse mode); retired counts slots whose storage was
+	// permanently retired (gc mode).  highWater tracks the maximum observed
+	// live count (racy max: exact when quiescent, a close lower bound under
+	// concurrency).  slabs counts published blocks and only grows.
+	allocs    atomic.Uint64
+	frees     atomic.Uint64
+	retired   atomic.Uint64
+	live      atomic.Int64
+	highWater atomic.Int64
+	slabs     atomic.Uint64
+	slotBytes uint64
 }
+
+// Occupancy is a point-in-time snapshot of an arena's ledger.  Taken while
+// the arena is quiescent it is exact and Conserved reports nil; taken
+// mid-churn the counters may straddle an in-flight Alloc or Free.
+type Occupancy struct {
+	Allocs    uint64 // successful Alloc calls
+	Frees     uint64 // slots recycled through the freelist (reuse mode)
+	Retired   uint64 // slots permanently retired (gc mode)
+	Live      int64  // currently allocated slots
+	HighWater int64  // maximum Live ever observed
+	Slabs     uint64 // blocks published (monotone: slabs are never unmapped)
+	SlabBytes uint64 // bytes held by published blocks (items+next+gen)
+	SlotBytes uint64 // per-slot footprint: sizeof(T) + per-slot metadata
+	Cap       uint64 // slot capacity
+}
+
+// Conserved checks the conservation invariant allocs == live + frees +
+// retired, returning a descriptive error when it does not hold.  Only
+// meaningful on quiescent snapshots.
+func (o Occupancy) Conserved() error {
+	if o.Live < 0 {
+		return fmt.Errorf("arena: negative live count %d", o.Live)
+	}
+	if got := uint64(o.Live) + o.Frees + o.Retired; got != o.Allocs {
+		return fmt.Errorf("arena: conservation violated: allocs=%d live=%d frees=%d retired=%d (live+frees+retired=%d)",
+			o.Allocs, o.Live, o.Frees, o.Retired, got)
+	}
+	return nil
+}
+
+// LiveBytes reports the bytes held by live slots.
+func (o Occupancy) LiveBytes() uint64 { return uint64(o.Live) * o.SlotBytes }
 
 // Option configures an Arena.
 type Option func(*config)
@@ -106,12 +155,16 @@ func New[T any](capacity int, opts ...Option) *Arena[T] {
 		shift++
 	}
 	nBlocks := (capacity + bs - 1) / bs
+	var probe T
 	return &Arena[T]{
 		blockSize:  bs,
 		blockShift: shift,
 		capacity:   capacity,
 		reuse:      cfg.reuse,
 		blocks:     make([]atomic.Pointer[block[T]], nBlocks),
+		// Per-slot footprint: the item plus its parallel freelist link and
+		// generation counter (4 bytes each).
+		slotBytes: uint64(unsafe.Sizeof(probe)) + 8,
 	}
 }
 
@@ -124,14 +177,60 @@ func (a *Arena[T]) Reusing() bool { return a.reuse }
 // Live reports the number of currently allocated slots (approximate under
 // concurrency, exact when quiescent).
 func (a *Arena[T]) Live() int {
-	return int(a.allocs.Load() - a.frees.Load())
+	return int(a.live.Load())
 }
 
 // Allocs reports the total number of successful Alloc calls.
 func (a *Arena[T]) Allocs() uint64 { return a.allocs.Load() }
 
-// Frees reports the total number of Free calls.
-func (a *Arena[T]) Frees() uint64 { return a.frees.Load() }
+// Frees reports the total number of Free calls (recycled plus retired).
+func (a *Arena[T]) Frees() uint64 { return a.frees.Load() + a.retired.Load() }
+
+// SlotBytes reports the per-slot footprint in bytes: sizeof(T) plus the
+// slot's parallel metadata (freelist link and generation counter).
+func (a *Arena[T]) SlotBytes() uint64 { return a.slotBytes }
+
+// Occupancy returns a snapshot of the arena's ledger.  The counters are
+// loaded individually, so a snapshot taken mid-churn may straddle an
+// in-flight operation; quiescent snapshots are exact and satisfy
+// Occupancy.Conserved.
+func (a *Arena[T]) Occupancy() Occupancy {
+	slabs := a.slabs.Load()
+	return Occupancy{
+		Frees:     a.frees.Load(),
+		Retired:   a.retired.Load(),
+		Live:      a.live.Load(),
+		HighWater: a.highWater.Load(),
+		Allocs:    a.allocs.Load(),
+		Slabs:     slabs,
+		SlabBytes: slabs * uint64(a.blockSize) * a.slotBytes,
+		SlotBytes: a.slotBytes,
+		Cap:       uint64(a.capacity),
+	}
+}
+
+// countAlloc records one successful allocation in the ledger and advances
+// the live high-water mark.  The max update is a racy read-then-store:
+// under contention a concurrent higher value can be overwritten, so
+// HighWater is a tight lower bound, exact when quiescent.
+func (a *Arena[T]) countAlloc() {
+	a.allocs.Add(1)
+	l := a.live.Add(1)
+	if hw := a.highWater.Load(); l > hw {
+		a.highWater.Store(l)
+	}
+}
+
+// countFree records one Free in the ledger, splitting by reclamation
+// class: recycled (reuse mode) vs retired (gc mode).
+func (a *Arena[T]) countFree() {
+	a.live.Add(-1)
+	if a.reuse {
+		a.frees.Add(1)
+	} else {
+		a.retired.Add(1)
+	}
+}
 
 // ensureBlock returns block b, publishing it first if necessary.  Multiple
 // threads may race to create a block; exactly one CAS wins and the losers'
@@ -150,6 +249,7 @@ func (a *Arena[T]) ensureBlock(b int) *block[T] {
 		blk.gen[i].Store(1)
 	}
 	if a.blocks[b].CompareAndSwap(nil, blk) {
+		a.slabs.Add(1)
 		return blk
 	}
 	return a.blocks[b].Load()
@@ -229,7 +329,7 @@ func (a *Arena[T]) bumpAlloc(n int) (uint32, int) {
 func (a *Arena[T]) Alloc() (uint32, bool) {
 	if a.reuse {
 		if idx, ok := a.popFree(); ok {
-			a.allocs.Add(1)
+			a.countAlloc()
 			return idx, true
 		}
 	}
@@ -237,7 +337,7 @@ func (a *Arena[T]) Alloc() (uint32, bool) {
 	if n == 0 {
 		return Nil, false
 	}
-	a.allocs.Add(1)
+	a.countAlloc()
 	return idx, true
 }
 
@@ -270,7 +370,7 @@ func (a *Arena[T]) Reserve(n int) (uint32, bool) {
 func (a *Arena[T]) Free(idx uint32) {
 	blk, off := a.locate(idx)
 	blk.gen[off].Add(1)
-	a.frees.Add(1)
+	a.countFree()
 	if a.reuse {
 		a.pushFree(idx)
 	}

@@ -33,7 +33,7 @@ func (c *Cache[T]) Alloc() (uint32, bool) {
 	if n := len(c.local); n > 0 {
 		idx := c.local[n-1]
 		c.local = c.local[:n-1]
-		c.a.allocs.Add(1)
+		c.a.countAlloc()
 		return idx, true
 	}
 	// Bulk-reserve fresh contiguous slots: one shared CAS buys batch
@@ -43,7 +43,7 @@ func (c *Cache[T]) Alloc() (uint32, bool) {
 		for i := got - 1; i >= 1; i-- {
 			c.local = append(c.local, first+uint32(i))
 		}
-		c.a.allocs.Add(1)
+		c.a.countAlloc()
 		return first, true
 	}
 	// Fresh region exhausted: refill from the shared freelist.
@@ -58,7 +58,7 @@ func (c *Cache[T]) Alloc() (uint32, bool) {
 		if n := len(c.local); n > 0 {
 			idx := c.local[n-1]
 			c.local = c.local[:n-1]
-			c.a.allocs.Add(1)
+			c.a.countAlloc()
 			return idx, true
 		}
 	}
@@ -71,7 +71,7 @@ func (c *Cache[T]) Alloc() (uint32, bool) {
 func (c *Cache[T]) Free(idx uint32) {
 	blk, off := c.a.locate(idx)
 	blk.gen[off].Add(1)
-	c.a.frees.Add(1)
+	c.a.countFree()
 	if !c.a.reuse {
 		return
 	}

@@ -202,6 +202,31 @@ func (d *Deque) Span() int { return int(d.span) }
 // Grows reports the number of ring doublings so far.
 func (d *Deque) Grows() uint64 { return d.grows.Load() }
 
+// Rings reports the ring chain's occupancy: the ledger ring count (from
+// the grows counter), the retired-ring count observed by walking the
+// prev chain, the active ring's cell count, and the bytes the whole
+// chain retains.  Because retired rings are never freed (gc-mode
+// retirement, see the package comment), Retired is the structure-side
+// ground truth and Rings the ledger side — RingCounts.Conserved
+// crosschecks them, exactly on quiescent snapshots.  The walk is
+// O(log capacity): sizes grow geometrically.
+func (d *Deque) Rings() telemetry.RingCounts {
+	grows := d.grows.Load()
+	a := d.array.Load()
+	rc := telemetry.RingCounts{
+		Rings: grows + 1,
+		Cells: uint64(a.size()),
+	}
+	for r := a; r != nil; r = r.prev {
+		// Cell storage plus the ring header (mask, slice header, prev).
+		rc.Bytes += uint64(r.size())*8 + 48
+		if r != a {
+			rc.Retired++
+		}
+	}
+	return rc
+}
+
 // note flushes one completed operation's telemetry; with no sink
 // attached the cost at every return site is a single inlined nil check.
 func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {

@@ -1,0 +1,48 @@
+package listdeque
+
+import "sync/atomic"
+
+// Seeded-leak fault injection for the soak harness's leak certification:
+// with SetLFRCLeakEvery(n) armed, every nth LFRCDeque.release call is
+// silently dropped — the paper's LFRCDestroy decrement simply never
+// happens — so the node's count never reaches zero and its arena slot
+// stays live forever.  This models the canonical LFRC usage bug (a lost
+// Release on some code path) and gives the soak harness a known-positive:
+// a run against the seeded leak must detect monotone node-arena growth
+// and fail.  The hook is process-global and exists for fault-injection
+// tests only; the disabled cost is one atomic load per release.
+var (
+	lfrcLeakEvery atomic.Uint64
+	lfrcLeakCalls atomic.Uint64
+	lfrcLeakSkips atomic.Uint64
+)
+
+// SetLFRCLeakEvery arms the seeded leak: every nth release of a counted
+// LFRC node reference is dropped.  n = 0 disarms it (the default) and
+// resets the call/skip counters.  Not for production use.
+func SetLFRCLeakEvery(n uint64) {
+	lfrcLeakEvery.Store(n)
+	if n == 0 {
+		lfrcLeakCalls.Store(0)
+		lfrcLeakSkips.Store(0)
+	}
+}
+
+// LFRCLeakSkips reports how many releases the seeded leak has dropped.
+func LFRCLeakSkips() uint64 { return lfrcLeakSkips.Load() }
+
+// leakDropRelease reports whether this release call should be dropped.
+func (d *LFRCDeque) leakDropRelease(w uint64) bool {
+	n := lfrcLeakEvery.Load()
+	if n == 0 {
+		return false
+	}
+	if w == 0 || d.sentinel(w) {
+		return false
+	}
+	if lfrcLeakCalls.Add(1)%n != 0 {
+		return false
+	}
+	lfrcLeakSkips.Add(1)
+	return true
+}

@@ -158,6 +158,9 @@ func (d *LFRCDeque) addRef(w tagptr.Word) {
 // release consumes one counted reference to w's node, freeing the node —
 // and releasing its outgoing links — when the count reaches zero.
 func (d *LFRCDeque) release(w tagptr.Word) {
+	if d.leakDropRelease(w) {
+		return // seeded fault: the decrement never happens (see leak.go)
+	}
 	work := []tagptr.Word{w}
 	for len(work) > 0 {
 		cur := work[len(work)-1]

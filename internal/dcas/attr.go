@@ -90,20 +90,32 @@ type LocStats struct {
 
 // PerLocation returns the attributed counts, sorted by location token,
 // with the overflow bucket (ID 0) appended when it is non-empty.  Reads
-// are unsynchronized, with the same contract as Stats.Snapshot.
+// are unsynchronized, with the same contract as Stats.Snapshot: a
+// concurrent Reset can zero a slot's attempts between the two loads and
+// leave its failures momentarily larger, so each slot's failures are
+// clamped to its attempts — the same underflow guard Stats.Successes
+// applies to the aggregate pair.
 func (st *AttrStats) PerLocation() []LocStats {
 	var out []LocStats
 	for i := range st.slots {
 		s := &st.slots[i]
 		if id := s.id.Load(); id != 0 {
-			out = append(out, LocStats{ID: id, Attempts: s.attempts.Load(), Failures: s.failures.Load()})
+			out = append(out, clampLoc(id, s.attempts.Load(), s.failures.Load()))
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	if a := st.overflow.attempts.Load(); a != 0 {
-		out = append(out, LocStats{Attempts: a, Failures: st.overflow.failures.Load()})
+		out = append(out, clampLoc(0, a, st.overflow.failures.Load()))
 	}
 	return out
+}
+
+// clampLoc builds one LocStats with failures clamped to attempts.
+func clampLoc(id, attempts, failures uint64) LocStats {
+	if failures > attempts {
+		failures = attempts
+	}
+	return LocStats{ID: id, Attempts: attempts, Failures: failures}
 }
 
 // Reset zeroes the aggregate counters and every attribution slot

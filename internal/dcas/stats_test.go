@@ -182,3 +182,79 @@ func TestAttrStatsConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// PerLocation has the same Reset race as Stats.Successes: a concurrent
+// Reset can zero a slot's attempts between the two loads, leaving its
+// failures momentarily larger.  The per-location counters must clamp
+// rather than report failures > attempts (regression: they used to be
+// returned raw).
+func TestPerLocationClampsResetRace(t *testing.T) {
+	var st AttrStats
+
+	// Model the mid-Reset state directly: attempts already zeroed,
+	// failures not yet.
+	s := st.slot(7)
+	s.failures.Add(3)
+	st.overflow.attempts.Add(2)
+	st.overflow.failures.Add(5)
+
+	locs := st.PerLocation()
+	if len(locs) != 2 {
+		t.Fatalf("PerLocation = %+v, want slot 7 and the overflow bucket", locs)
+	}
+	for _, l := range locs {
+		if l.Failures > l.Attempts {
+			t.Fatalf("location %d reports failures %d > attempts %d (unclamped)",
+				l.ID, l.Failures, l.Attempts)
+		}
+	}
+	if locs[0].ID != 7 || locs[0].Attempts != 0 || locs[0].Failures != 0 {
+		t.Fatalf("slot 7 = %+v, want failures clamped to attempts = 0", locs[0])
+	}
+	if locs[1].ID != 0 || locs[1].Failures != 2 {
+		t.Fatalf("overflow = %+v, want failures clamped to attempts = 2", locs[1])
+	}
+
+	// And under a live Reset storm no snapshot may ever underflow.
+	var a, b Loc
+	a.Init(1)
+	b.Init(1)
+	p := InstrumentedAttr(&TwoLock{}, &st)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				p.DCAS(&a, &b, 0, 0, 0, 0) // always fails: values are 1
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				st.Reset()
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		for _, l := range st.PerLocation() {
+			if l.Failures > l.Attempts {
+				close(done)
+				wg.Wait()
+				t.Fatalf("location %d: failures %d > attempts %d under Reset race",
+					l.ID, l.Failures, l.Attempts)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}

@@ -112,6 +112,12 @@ func NewPool[T any](capacity int, prov dcas.Provider, onRelease func(*T, func(Re
 // Live reports the number of live objects (for leak checking).
 func (p *Pool[T]) Live() int { return p.ar.Live() }
 
+// Occupancy returns the pool's allocation ledger: live/free/retired object
+// counts, the live high-water mark, and slab footprint.  Quiescent
+// snapshots satisfy the conservation invariant (allocs == live + frees +
+// retired); see arena.Occupancy.Conserved.
+func (p *Pool[T]) Occupancy() arena.Occupancy { return p.ar.Occupancy() }
+
 // New allocates an object holding v with reference count 1 (the caller's
 // local reference).  ok is false if the pool is exhausted.
 func (p *Pool[T]) New(v T) (Ref, bool) {

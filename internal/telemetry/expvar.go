@@ -18,29 +18,35 @@ import (
 )
 
 // entry is one registered component's telemetry sources: a deque's
-// sink+DCAS stats, or a scheduler's sink (RegisterSched), never both.
+// sink+DCAS stats+memory snapshotter, or a scheduler's sink
+// (RegisterSched), never both.  Entries are stored by pointer: the mem
+// field makes the struct non-comparable, so unregistration matches on
+// entry identity rather than value equality.
 type entry struct {
 	sink  *Sink
 	dcas  *dcas.Stats
+	mem   func() MemSnapshot
 	sched *SchedSink
 }
 
 var (
 	registryMu  sync.Mutex
-	registry    = map[string]entry{}
+	registry    = map[string]*entry{}
 	publishOnce sync.Once
 )
 
 // Register exposes a deque's telemetry under the given name via the
 // expvar variable "dcasdeque" (and Handler).  st may be nil when the
-// deque has no instrumented DCAS provider.  Registering a name again
-// replaces the previous entry; the returned function unregisters it
-// (idempotently, and only while the entry is still the registered one).
-func Register(name string, sink *Sink, st *dcas.Stats) func() {
+// deque has no instrumented DCAS provider; mem, when non-nil, is called
+// at snapshot time for the deque's memory-occupancy ledger and must be
+// safe to call concurrently.  Registering a name again replaces the
+// previous entry; the returned function unregisters it (idempotently, and
+// only while the entry is still the registered one).
+func Register(name string, sink *Sink, st *dcas.Stats, mem func() MemSnapshot) func() {
 	publishOnce.Do(func() {
 		expvar.Publish("dcasdeque", expvar.Func(exportAll))
 	})
-	return register(name, entry{sink: sink, dcas: st})
+	return register(name, &entry{sink: sink, dcas: st, mem: mem})
 }
 
 // RegisterSched exposes a scheduler's telemetry under the given name,
@@ -50,10 +56,10 @@ func RegisterSched(name string, sink *SchedSink) func() {
 	publishOnce.Do(func() {
 		expvar.Publish("dcasdeque", expvar.Func(exportAll))
 	})
-	return register(name, entry{sched: sink})
+	return register(name, &entry{sched: sink})
 }
 
-func register(name string, e entry) func() {
+func register(name string, e *entry) func() {
 	registryMu.Lock()
 	registry[name] = e
 	registryMu.Unlock()
@@ -66,10 +72,12 @@ func register(name string, e entry) func() {
 	}
 }
 
-// snapshotAll copies the registry and snapshots every entry.
+// snapshotAll copies the registry and snapshots every entry.  Snapshots
+// run outside the registry lock so a slow source never blocks concurrent
+// register/unregister calls.
 func snapshotAll() map[string]exportEntry {
 	registryMu.Lock()
-	entries := make(map[string]entry, len(registry))
+	entries := make(map[string]*entry, len(registry))
 	for n, e := range registry {
 		entries[n] = e
 	}
@@ -84,6 +92,10 @@ func snapshotAll() map[string]exportEntry {
 		if e.dcas != nil {
 			sn := e.dcas.Snapshot()
 			ee.DCAS = &sn
+		}
+		if e.mem != nil {
+			sn := e.mem()
+			ee.Mem = &sn
 		}
 		if e.sched != nil {
 			sn := e.sched.Snapshot()
@@ -100,6 +112,7 @@ func snapshotAll() map[string]exportEntry {
 type exportEntry struct {
 	Telemetry *Snapshot      `json:"telemetry,omitempty"`
 	DCAS      *dcas.Snapshot `json:"dcas,omitempty"`
+	Mem       *MemSnapshot   `json:"mem,omitempty"`
 	Sched     *SchedSnapshot `json:"sched,omitempty"`
 }
 
@@ -165,6 +178,21 @@ func WriteText(b *strings.Builder) {
 			fmt.Fprintf(b, "%s.dcas.successes %d\n", n, e.DCAS.Successes)
 			fmt.Fprintf(b, "%s.dcas.backoff_spins %d\n", n, e.DCAS.BackoffSpins)
 			fmt.Fprintf(b, "%s.dcas.backoff_yields %d\n", n, e.DCAS.BackoffYields)
+		}
+		if e.Mem != nil {
+			writeArenaText(b, n+".arena.slots", e.Mem.Slots)
+			if e.Mem.Nodes != nil {
+				writeArenaText(b, n+".arena.nodes", *e.Mem.Nodes)
+			}
+			if e.Mem.Lfrc != nil {
+				writeArenaText(b, n+".lfrc", *e.Mem.Lfrc)
+			}
+			if r := e.Mem.Rings; r != nil {
+				fmt.Fprintf(b, "%s.rings.rings %d\n", n, r.Rings)
+				fmt.Fprintf(b, "%s.rings.retired %d\n", n, r.Retired)
+				fmt.Fprintf(b, "%s.rings.cells %d\n", n, r.Cells)
+				fmt.Fprintf(b, "%s.rings.bytes %d\n", n, r.Bytes)
+			}
 		}
 	}
 }

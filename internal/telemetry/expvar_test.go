@@ -17,7 +17,7 @@ func TestExporter(t *testing.T) {
 	var st dcas.Stats
 	st.Attempts.Add(5)
 	st.Failures.Add(2)
-	unregister := Register("test_exporter_deque", sink, &st)
+	unregister := Register("test_exporter_deque", sink, &st, nil)
 	defer unregister()
 
 	// The flat text endpoint.
@@ -71,8 +71,8 @@ func TestRegisterReplaces(t *testing.T) {
 	a.Op(Left, Pushes, 0)
 	b.Op(Left, Pushes, 0)
 	b.Op(Left, Pushes, 0)
-	unA := Register("test_replace_deque", a, nil)
-	unB := Register("test_replace_deque", b, nil)
+	unA := Register("test_replace_deque", a, nil, nil)
+	unB := Register("test_replace_deque", b, nil, nil)
 	defer unB()
 
 	rec := httptest.NewRecorder()

@@ -75,6 +75,7 @@ type Option func(*config)
 type config struct {
 	workers       int
 	mkDeque       func(id int) deque.Deque[Task]
+	mkInjector    func(capacity int) deque.Deque[Task]
 	dequeCap      int
 	injectorCap   int
 	stealBatch    int
@@ -161,6 +162,18 @@ func WithInjectorCapacity(n int) Option {
 	return func(c *config) { c.injectorCap = n }
 }
 
+// WithInjector supplies the factory for the external submission queue,
+// called once with the configured injector capacity (the default is a
+// bounded array deque).  The scheduler uses the deque as a bounded MPMC
+// FIFO: PushRight from submitters, PopLMany from workers.  Any push
+// failure — ErrFull, or ErrMemoryBound from a deque built with
+// deque.WithMemoryBound — is surfaced as ErrSaturated backpressure, so
+// a memory-bounded injector turns a memory budget into admission
+// control.
+func WithInjector(mk func(capacity int) deque.Deque[Task]) Option {
+	return func(c *config) { c.mkInjector = mk }
+}
+
 // WithStealBatch caps how many tasks one steal transfers (default 16).
 // A thief takes half the victim's apparent load up to this cap.
 func WithStealBatch(n int) Option {
@@ -238,9 +251,12 @@ func New(opts ...Option) *Scheduler {
 	if cfg.mkDeque == nil {
 		WithArrayDeques()(&cfg)
 	}
+	if cfg.mkInjector == nil {
+		cfg.mkInjector = func(capacity int) deque.Deque[Task] { return deque.NewArray[Task](capacity) }
+	}
 	s := &Scheduler{
 		cfg:      cfg,
-		injector: deque.NewArray[Task](cfg.injectorCap),
+		injector: cfg.mkInjector(cfg.injectorCap),
 		sizes:    make([]paddedCount, cfg.workers),
 		done:     make(chan struct{}),
 	}
@@ -317,6 +333,11 @@ func (s *Scheduler) TrySubmit(t Task) error {
 		return ErrShutdown
 	}
 	if err := s.injector.PushRight(t); err != nil {
+		// Any push failure is backpressure: ErrFull from the bounded
+		// array, or ErrMemoryBound from a memory-bounded injector
+		// (WithInjector).  The release undoes acquire's pending count, so
+		// a rejected submission leaves nothing behind for Shutdown to
+		// drain.
 		s.release()
 		return ErrSaturated
 	}

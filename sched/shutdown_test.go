@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dcasdeque/deque"
 )
 
 // TestSubmitAfterShutdown: once Shutdown is called, both submission
@@ -110,6 +112,78 @@ func TestShutdownIdleScheduler(t *testing.T) {
 	s := New(WithWorkers(4))
 	time.Sleep(10 * time.Millisecond) // let the workers park
 	shutdownOK(t, s)
+}
+
+// TestShutdownRacesMemoryBoundRejects: submissions racing Shutdown
+// through a memory-bounded injector (WithInjector + deque.WithMemoryBound)
+// must not leak pending tasks.  A rejected TrySubmit maps ErrMemoryBound
+// to ErrSaturated AND undoes its pending-count acquire, so the life word
+// only counts tasks the injector actually holds — if a rejection leaked
+// its acquire, Shutdown would wait forever for a task that doesn't
+// exist; if it leaked the task, accepted > ran.
+func TestShutdownRacesMemoryBoundRejects(t *testing.T) {
+	s := New(WithWorkers(2), WithInjector(func(capacity int) deque.Deque[Task] {
+		// Tiny budget (~128 tasks), far under the default capacity: the
+		// memory bound, not ErrFull, is what rejects.
+		return deque.NewArray[Task](capacity, deque.WithMemoryBound(2<<10))
+	}))
+
+	// Pin both workers so the injector fills to its budget and the
+	// ErrMemoryBound→ErrSaturated path demonstrably fires.
+	gate := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		if err := s.Submit(func(*Worker) { <-gate }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var accepted, ran atomic.Int64
+	task := func(*Worker) { ran.Add(1) }
+	saturated := false
+	for i := 0; i < 1<<16; i++ {
+		switch err := s.TrySubmit(task); {
+		case err == nil:
+			accepted.Add(1)
+		case errors.Is(err, ErrSaturated):
+			saturated = true
+		default:
+			t.Fatalf("TrySubmit: %v", err)
+		}
+		if saturated {
+			break
+		}
+	}
+	if !saturated {
+		t.Fatal("memory-bounded injector never surfaced ErrSaturated")
+	}
+
+	// Race more submissions (most rejected at the bound) against the
+	// release of the workers and the Shutdown drain.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				switch err := s.TrySubmit(task); {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrShutdown):
+					return
+				case errors.Is(err, ErrSaturated):
+					// rejected at the bound: must leave nothing pending
+				default:
+					t.Errorf("TrySubmit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	close(gate)
+	shutdownOK(t, s) // would hang if a rejection leaked a pending count
+	wg.Wait()
+	if a, r := accepted.Load(), ran.Load(); a != r {
+		t.Fatalf("accepted %d submissions but ran %d — pending tasks leaked across Shutdown", a, r)
+	}
 }
 
 // TestShutdownConcurrent: many goroutines racing Shutdown all get nil

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race check vet-fixtures sched-stress sched-bench chaselev-bench soak-smoke soak
+.PHONY: all build lint test race check vet-fixtures sched-stress sched-bench chaselev-bench latobs-bench soak-smoke soak
 
 all: check
 
@@ -41,6 +41,12 @@ sched-bench:
 # chaselev), committed as BENCH_PR6.json (EXPERIMENTS.md CHASELEV).
 chaselev-bench:
 	$(GO) run ./cmd/dequebench -exp sched -ops 50000 -workers 1,2,4,8 -json BENCH_PR6.json
+
+# Latency observability pricing: deque cells at off/telem/lat and sched
+# cells at off/lat/lat+trace, with the quantiles the lat cells buy,
+# written to BENCH_PR9.json (EXPERIMENTS.md LATOBS).
+latobs-bench:
+	$(GO) run ./cmd/dequebench -exp latobs -ops 30000 -workers 2,4 -json BENCH_PR9.json
 
 # Memory-bounded soak smoke (CI-required): 90 seconds of race-
 # instrumented churn split across every backend × workload cell, with

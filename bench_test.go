@@ -407,6 +407,24 @@ func BenchmarkPublicAPI(b *testing.B) {
 			d.PopRight()
 		}
 	})
+	// Latency-enabled twins: the same loop with WithLatency, pricing the
+	// enabled path (two clock reads + histogram records per operation) for
+	// the benchguard head gate.  The budget is documented in EXPERIMENTS.md
+	// (LATOBS); the disabled path stays under the default 5% threshold.
+	b.Run("Array[int]/lat", func(b *testing.B) {
+		d := deque.NewArray[int](1<<10, deque.WithLatency())
+		for i := 0; i < b.N; i++ {
+			d.PushRight(i)
+			d.PopRight()
+		}
+	})
+	b.Run("ChaseLev[int]/lat", func(b *testing.B) {
+		d := deque.NewChaseLev[int](deque.WithLatency())
+		for i := 0; i < b.N; i++ {
+			d.PushRight(i)
+			d.PopRight()
+		}
+	})
 	b.Run("core-array-words", func(b *testing.B) {
 		d := arraydeque.New(1 << 10)
 		for i := 0; i < b.N; i++ {

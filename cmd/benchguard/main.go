@@ -9,7 +9,7 @@
 //
 //	benchguard [-base origin/main] [-bench BenchmarkPublicAPI]
 //	           [-benchtime 0.3s] [-count 5] [-threshold 5]
-//	           [-headgate candidate=reference]
+//	           [-headgate candidate=reference[@pct]] ...
 //
 // The base revision is materialized in a temporary git worktree, so the
 // working tree (including uncommitted changes) is never disturbed.
@@ -18,7 +18,11 @@
 // base-vs-HEAD comparison reports it but cannot judge it.  -headgate
 // closes that gap: it names two HEAD benchmarks, and the candidate's
 // median must not exceed the reference's by more than the threshold —
-// the same gate, anchored to a peer instead of history.
+// the same gate, anchored to a peer instead of history.  The flag
+// repeats, and each gate may carry its own budget after @ (percent,
+// default -threshold), so one run can hold gates of different natures:
+// the abstraction-cost gate at the tight default and the latency-enabled
+// twin (priced in EXPERIMENTS.md LATOBS) at its documented budget.
 package main
 
 import (
@@ -37,8 +41,24 @@ var (
 	benchtimeFlag = flag.String("benchtime", "0.3s", "per-benchmark measurement time")
 	countFlag     = flag.Int("count", 5, "runs per benchmark (medians compared)")
 	thresholdFlag = flag.Float64("threshold", 5, "maximum allowed regression, percent")
-	headgateFlag  = flag.String("headgate", "", "judge one HEAD benchmark against another, candidate=reference (for benchmarks with no base sample)")
+	headgateFlag  multiFlag
 )
+
+func init() {
+	flag.Var(&headgateFlag, "headgate",
+		"judge one HEAD benchmark against another, candidate=reference[@pct] "+
+			"(for benchmarks with no base sample; repeatable, per-gate budget after @)")
+}
+
+// multiFlag collects every occurrence of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 // git runs a git command and returns its trimmed stdout.
 func git(args ...string) (string, error) {
@@ -80,16 +100,16 @@ func run() int {
 	}
 	if baseSHA == head {
 		fmt.Printf("benchguard: HEAD is the merge base (%s); nothing to compare\n", baseSHA[:12])
-		if *headgateFlag == "" {
+		if len(headgateFlag) == 0 {
 			return 0
 		}
-		// The head gate needs no base at all; run it on its own.
+		// The head gates need no base at all; run them on their own.
 		headRes, err := bench(".")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		return judgeHeadgate(headRes)
+		return judgeHeadgates(headRes)
 	}
 
 	tmp, err := os.MkdirTemp("", "benchguard-base-")
@@ -137,29 +157,32 @@ func run() int {
 	} else {
 		fmt.Printf("benchguard: ok — worst regression %.2f%% within %.1f%%\n", worst, *thresholdFlag)
 	}
-	if *headgateFlag != "" {
-		if hg := judgeHeadgate(headRes); hg > code {
-			code = hg
-		}
+	if hg := judgeHeadgates(headRes); hg > code {
+		code = hg
 	}
 	return code
 }
 
-// judgeHeadgate applies the -headgate candidate=reference comparison to
-// the HEAD samples and returns the process exit code contribution.
-func judgeHeadgate(head map[string][]float64) int {
-	line, pct, err := headgate(*headgateFlag, head)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		return 2
+// judgeHeadgates applies every -headgate candidate=reference[@pct]
+// comparison to the HEAD samples and returns the process exit code
+// contribution (the worst across gates).
+func judgeHeadgates(head map[string][]float64) int {
+	code := 0
+	for _, spec := range headgateFlag {
+		line, pct, budget, err := headgate(spec, *thresholdFlag, head)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			return 2
+		}
+		fmt.Println(line)
+		if pct > budget {
+			fmt.Printf("benchguard: FAIL — head gate %.2f%% exceeds %.1f%%\n", pct, budget)
+			code = 1
+		} else {
+			fmt.Printf("benchguard: ok — head gate %.2f%% within %.1f%%\n", pct, budget)
+		}
 	}
-	fmt.Println(line)
-	if pct > *thresholdFlag {
-		fmt.Printf("benchguard: FAIL — head gate %.2f%% exceeds %.1f%%\n", pct, *thresholdFlag)
-		return 1
-	}
-	fmt.Printf("benchguard: ok — head gate %.2f%% within %.1f%%\n", pct, *thresholdFlag)
-	return 0
+	return code
 }
 
 func main() { os.Exit(run()) }

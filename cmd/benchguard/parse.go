@@ -64,32 +64,41 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// headgate evaluates a "candidate=reference" spec against HEAD samples:
-// the candidate's median may exceed the reference's by at most the
-// caller's threshold.  It returns the verdict line and the candidate's
-// overhead percentage relative to the reference.
-func headgate(spec string, head map[string][]float64) (string, float64, error) {
+// headgate evaluates a "candidate=reference[@pct]" spec against HEAD
+// samples: the candidate's median may exceed the reference's by at most
+// the spec's own budget, or fallback when none is given.  It returns the
+// verdict line, the candidate's overhead percentage relative to the
+// reference, and the budget that judges it.
+func headgate(spec string, fallback float64, head map[string][]float64) (string, float64, float64, error) {
+	budget := fallback
+	if body, pct, ok := strings.Cut(spec, "@"); ok {
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil || v < 0 {
+			return "", 0, 0, fmt.Errorf("bad -headgate budget %q in %q, want a non-negative percent", pct, spec)
+		}
+		spec, budget = body, v
+	}
 	cand, ref, ok := strings.Cut(spec, "=")
 	if !ok || cand == "" || ref == "" {
-		return "", 0, fmt.Errorf("bad -headgate %q, want candidate=reference", spec)
+		return "", 0, 0, fmt.Errorf("bad -headgate %q, want candidate=reference[@pct]", spec)
 	}
 	cs := head[cand]
 	if len(cs) == 0 {
-		return "", 0, fmt.Errorf("-headgate candidate %q produced no ns/op samples in the HEAD run "+
+		return "", 0, 0, fmt.Errorf("-headgate candidate %q produced no ns/op samples in the HEAD run "+
 			"(check the -bench pattern matches it and the benchmark actually ran)", cand)
 	}
 	rs := head[ref]
 	if len(rs) == 0 {
-		return "", 0, fmt.Errorf("-headgate reference %q produced no ns/op samples in the HEAD run "+
+		return "", 0, 0, fmt.Errorf("-headgate reference %q produced no ns/op samples in the HEAD run "+
 			"(check the -bench pattern matches it and the benchmark actually ran)", ref)
 	}
 	c, r := median(cs), median(rs)
 	if r == 0 {
-		return "", 0, fmt.Errorf("-headgate reference %q has a 0 ns/op median; overhead relative to it is undefined", ref)
+		return "", 0, 0, fmt.Errorf("-headgate reference %q has a 0 ns/op median; overhead relative to it is undefined", ref)
 	}
 	pct := (c - r) / r * 100
-	return fmt.Sprintf("%-60s %10.1f vs %10.1f ns/op  %+6.2f%% (head gate vs %s)",
-		cand, c, r, pct, ref), pct, nil
+	return fmt.Sprintf("%-60s %10.1f vs %10.1f ns/op  %+6.2f%% (head gate vs %s, budget %.1f%%)",
+		cand, c, r, pct, ref, budget), pct, budget, nil
 }
 
 // compare evaluates head against base and returns per-benchmark verdict

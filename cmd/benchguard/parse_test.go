@@ -95,24 +95,32 @@ func TestHeadgate(t *testing.T) {
 		"Ref":  {100, 102, 98},  // median 100
 		"Fast": {80},
 	}
-	line, pct, err := headgate("New=Ref", head)
+	line, pct, budget, err := headgate("New=Ref", 5, head)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pct < 9.9 || pct > 10.1 {
 		t.Fatalf("pct = %v, want ~10", pct)
 	}
+	if budget != 5 {
+		t.Fatalf("budget = %v, want the 5 fallback", budget)
+	}
 	for _, want := range []string{"New", "Ref", "head gate"} {
 		if !strings.Contains(line, want) {
 			t.Fatalf("verdict line missing %q: %s", want, line)
 		}
 	}
+	// A per-gate @budget overrides the fallback threshold.
+	if _, _, budget, err = headgate("New=Ref@250", 5, head); err != nil || budget != 250 {
+		t.Fatalf("explicit budget = %v, %v, want 250", budget, err)
+	}
 	// A candidate faster than its reference reports a negative overhead.
-	if _, pct, _ = headgate("Fast=Ref", head); pct >= 0 {
+	if _, pct, _, _ = headgate("Fast=Ref", 5, head); pct >= 0 {
 		t.Fatalf("faster candidate pct = %v, want negative", pct)
 	}
-	for _, bad := range []string{"", "NoEquals", "=Ref", "New=", "Missing=Ref", "New=Missing"} {
-		if _, _, err := headgate(bad, head); err == nil {
+	for _, bad := range []string{"", "NoEquals", "=Ref", "New=", "Missing=Ref", "New=Missing",
+		"New=Ref@", "New=Ref@x", "New=Ref@-3"} {
+		if _, _, _, err := headgate(bad, 5, head); err == nil {
 			t.Fatalf("headgate(%q) accepted", bad)
 		}
 	}
@@ -127,7 +135,7 @@ func TestHeadgateNoSamples(t *testing.T) {
 		"Empty": {}, // present but sample-less
 	}
 	for _, spec := range []string{"Gone=New", "New=Gone", "Empty=New", "New=Empty"} {
-		_, _, err := headgate(spec, head)
+		_, _, _, err := headgate(spec, 5, head)
 		if err == nil {
 			t.Fatalf("headgate(%q) accepted with a sample-less side", spec)
 		}
@@ -137,7 +145,7 @@ func TestHeadgateNoSamples(t *testing.T) {
 	}
 	// A zero reference median must not divide through to ±Inf.
 	zero := map[string][]float64{"New": {110}, "Zed": {0}}
-	if _, _, err := headgate("New=Zed", zero); err == nil || !strings.Contains(err.Error(), "0 ns/op median") {
+	if _, _, _, err := headgate("New=Zed", 5, zero); err == nil || !strings.Contains(err.Error(), "0 ns/op median") {
 		t.Fatalf("zero-median reference not rejected: %v", err)
 	}
 }

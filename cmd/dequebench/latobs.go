@@ -1,0 +1,317 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dcasdeque/internal/core/arraydeque"
+	"dcasdeque/internal/core/listdeque"
+	"dcasdeque/internal/metrics"
+	"dcasdeque/internal/telemetry"
+	"dcasdeque/internal/workload"
+	"dcasdeque/sched"
+)
+
+// The latobs experiment prices the latency observability layer (PR 9)
+// and shows what it buys.  It has two halves:
+//
+//   - Deque cells run the split-ends mix at three instrumentation
+//     levels: "off" (no telemetry — the shipped default), "telem"
+//     (counters only, the PR 4 configuration) and "lat" (counters plus
+//     the per-end latency histograms: two clock reads and one or two
+//     sharded records per operation).  The off→telem and telem→lat
+//     throughput deltas separate the counter cost from the latency
+//     cost; the emitted quantiles are the product.
+//
+//   - Sched cells run the fork-join fib workload at "off", "lat"
+//     (sched.WithLatency: every task stamped with a closure) and
+//     "lat+trace" (WithTracing on top, with no trace collector running
+//     — pricing the steady-state trace.IsEnabled checks, the
+//     configuration a binary that only sometimes traces pays forever).
+//
+// With -json this writes BENCH_PR9.json (see EXPERIMENTS.md LATOBS).
+const (
+	latobsCap     = 64
+	latobsPrefill = 32
+	latobsTrials  = 5
+	latobsSeed    = 99
+	latobsFibN    = 21
+)
+
+// latobsVariant is one (implementation, instrumentation level) deque
+// configuration.
+type latobsVariant struct {
+	impl string
+	mode string // "off", "telem" or "lat"
+	mk   func() (workload.Deque, *telemetry.Sink)
+}
+
+func latobsVariants() []latobsVariant {
+	mkSink := func(lat bool) *telemetry.Sink {
+		s := telemetry.NewSink()
+		if lat {
+			s.EnableLatency()
+		}
+		return s
+	}
+	return []latobsVariant{
+		{"array", "off", func() (workload.Deque, *telemetry.Sink) {
+			return arraydeque.New(latobsCap), nil
+		}},
+		{"array", "telem", func() (workload.Deque, *telemetry.Sink) {
+			sink := mkSink(false)
+			return arraydeque.New(latobsCap, arraydeque.WithTelemetry(sink)), sink
+		}},
+		{"array", "lat", func() (workload.Deque, *telemetry.Sink) {
+			sink := mkSink(true)
+			return arraydeque.New(latobsCap, arraydeque.WithTelemetry(sink)), sink
+		}},
+		{"list", "off", func() (workload.Deque, *telemetry.Sink) {
+			return listdeque.New(), nil
+		}},
+		{"list", "telem", func() (workload.Deque, *telemetry.Sink) {
+			sink := mkSink(false)
+			return listdeque.New(listdeque.WithTelemetry(sink)), sink
+		}},
+		{"list", "lat", func() (workload.Deque, *telemetry.Sink) {
+			sink := mkSink(true)
+			return listdeque.New(listdeque.WithTelemetry(sink)), sink
+		}},
+	}
+}
+
+// latobsDequeCell is one (impl, mode, workers) deque measurement.
+type latobsDequeCell struct {
+	Impl      string    `json:"impl"`
+	Mode      string    `json:"mode"`
+	Workers   int       `json:"workers"`
+	OpsPerSec float64   `json:"ops_per_sec"` // median of Trials
+	Trials    []float64 `json:"trials_ops_per_sec"`
+	// OverheadPct is the throughput cost versus this impl's off cell
+	// ((off-this)/off·100); 0 for off cells.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Latency holds the per-end quantiles of one separately counted lat
+	// trial; nil for off/telem cells.
+	Latency *telemetry.LatencySnapshot `json:"latency,omitempty"`
+}
+
+// latobsSchedCell is one (mode, workers) scheduler measurement over the
+// fib workload.
+type latobsSchedCell struct {
+	Mode        string    `json:"mode"`
+	Workers     int       `json:"workers"`
+	TasksPerSec float64   `json:"tasks_per_sec"` // median of Trials
+	Trials      []float64 `json:"trials_tasks_per_sec"`
+	OverheadPct float64   `json:"overhead_pct"`
+	// Latencies holds the lifecycle quantiles of one separately counted
+	// latency-enabled trial; nil for off cells.
+	Latencies *sched.Latencies `json:"latencies,omitempty"`
+}
+
+// latobsReport is the machine-readable result written by -json
+// (BENCH_PR9.json in CI).
+type latobsReport struct {
+	Experiment string `json:"experiment"`
+	Command    string `json:"command"`
+	Config     struct {
+		Capacity     int    `json:"capacity"`
+		Prefill      int    `json:"prefill"`
+		OpsPerWorker int    `json:"ops_per_worker"`
+		PushPct      int    `json:"push_pct"`
+		SplitEnds    bool   `json:"split_ends"`
+		FibN         int    `json:"fib_n"`
+		Trials       int    `json:"trials_per_cell"`
+		Seed         uint64 `json:"seed"`
+	} `json:"config"`
+	Env struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"env"`
+	DequeCells []latobsDequeCell `json:"deque_cells"`
+	SchedCells []latobsSchedCell `json:"sched_cells"`
+}
+
+// latobsThroughput runs one deque trial and returns ops/sec.
+func latobsThroughput(d workload.Deque, workers, ops int, trial uint64) (float64, error) {
+	res, err := workload.RunMix(d, workload.MixConfig{
+		Workers: workers, OpsPerWorker: ops, PushPct: 50, SplitEnds: true,
+		Seed: latobsSeed + trial, Prefill: latobsPrefill,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput.PerSecond(), nil
+}
+
+// latobsSchedModes are the scheduler instrumentation levels.
+func latobsSchedModes() []struct {
+	mode string
+	opts []sched.Option
+} {
+	return []struct {
+		mode string
+		opts []sched.Option
+	}{
+		{"off", nil},
+		{"lat", []sched.Option{sched.WithLatency()}},
+		{"lat+trace", []sched.Option{sched.WithLatency(), sched.WithTracing()}},
+	}
+}
+
+// expLatobs measures latency-observability overhead and emits the
+// quantiles it buys.
+func expLatobs(o io, ops int, workers []int) {
+	rep := latobsReport{Experiment: "latobs"}
+	rep.Command = fmt.Sprintf("dequebench -exp latobs -ops %d -workers %s", ops, *workersFlag)
+	rep.Config.Capacity = latobsCap
+	rep.Config.Prefill = latobsPrefill
+	rep.Config.OpsPerWorker = ops
+	rep.Config.PushPct = 50
+	rep.Config.SplitEnds = true
+	rep.Config.FibN = latobsFibN
+	rep.Config.Trials = latobsTrials
+	rep.Config.Seed = latobsSeed
+	rep.Env.GoVersion = runtime.Version()
+	rep.Env.GOOS = runtime.GOOS
+	rep.Env.GOARCH = runtime.GOARCH
+	rep.Env.NumCPU = runtime.NumCPU()
+	rep.Env.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	// Deque half.
+	t := metrics.NewTable("impl", "mode", "workers", "ops/s", "overhead%", "p50L", "p99L", "p99R", "spin-p99L")
+	for _, w := range workers {
+		if w%2 != 0 && w != 1 {
+			continue // split-ends needs paired workers
+		}
+		vs := latobsVariants()
+		cells := make([]latobsDequeCell, len(vs))
+		for i, v := range vs {
+			cells[i] = latobsDequeCell{Impl: v.impl, Mode: v.mode, Workers: w}
+			d, _ := v.mk()
+			// Discarded warmup trial, as in the contend experiment.
+			if _, err := latobsThroughput(d, w, ops, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "latobs:", err)
+				os.Exit(1)
+			}
+		}
+		// Round-robin trials across variants so machine-wide drift lands on
+		// every cell equally (see expContend).
+		for trial := 0; trial < latobsTrials; trial++ {
+			for i, v := range vs {
+				runtime.GC()
+				d, _ := v.mk()
+				tput, err := latobsThroughput(d, w, ops, uint64(trial))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "latobs:", err)
+					os.Exit(1)
+				}
+				cells[i].Trials = append(cells[i].Trials, tput)
+			}
+		}
+		off := map[string]float64{}
+		for i, v := range vs {
+			cell := &cells[i]
+			cell.OpsPerSec = median(cell.Trials)
+			if v.mode == "off" {
+				off[v.impl] = cell.OpsPerSec
+			} else if base := off[v.impl]; base > 0 {
+				cell.OverheadPct = (base - cell.OpsPerSec) / base * 100
+			}
+			var p50L, p99L, p99R, spin99L uint64
+			if v.mode == "lat" {
+				// One separately counted trial so the quantile columns describe
+				// a known workload, not the accumulated trial soup.
+				d, sink := v.mk()
+				if _, err := latobsThroughput(d, w, ops, uint64(latobsTrials)); err != nil {
+					fmt.Fprintln(os.Stderr, "latobs:", err)
+					os.Exit(1)
+				}
+				sn := sink.Snapshot()
+				cell.Latency = sn.Latency
+				if l := sn.Latency; l != nil {
+					p50L, p99L = l.Left.Op.P50, l.Left.Op.P99
+					p99R = l.Right.Op.P99
+					spin99L = l.Left.Spin.P99
+				}
+			}
+			rep.DequeCells = append(rep.DequeCells, *cell)
+			t.AddRow(v.impl, v.mode, w, cell.OpsPerSec,
+				fmt.Sprintf("%.1f", cell.OverheadPct), p50L, p99L, p99R, spin99L)
+		}
+	}
+	o.emit("LATOBS: latency observability cost (off / telem / lat) and quantiles (ns)", t)
+
+	// Sched half.
+	ts := metrics.NewTable("backend", "mode", "workers", "tasks/s", "overhead%", "submit-p99", "steal-p99", "park-p99")
+	wl := schedWorkload{"fib", func(s *sched.Scheduler) (workload.SchedResult, error) {
+		return workload.RunSchedFib(s, latobsFibN)
+	}}
+	backend := schedBackend{"chaselev", sched.WithChaseLev()}
+	for _, w := range workers {
+		modes := latobsSchedModes()
+		cells := make([]latobsSchedCell, len(modes))
+		for i, m := range modes {
+			cells[i] = latobsSchedCell{Mode: m.mode, Workers: w}
+			if _, _, err := schedTrial(wl, backend, w, m.opts...); err != nil {
+				fmt.Fprintln(os.Stderr, "latobs:", err)
+				os.Exit(1)
+			}
+		}
+		for trial := 0; trial < latobsTrials; trial++ {
+			for i, m := range modes {
+				runtime.GC()
+				res, _, err := schedTrial(wl, backend, w, m.opts...)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "latobs:", err)
+					os.Exit(1)
+				}
+				cells[i].Trials = append(cells[i].Trials, res.PerSec())
+			}
+		}
+		var base float64
+		for i, m := range modes {
+			cell := &cells[i]
+			cell.TasksPerSec = median(cell.Trials)
+			if m.mode == "off" {
+				base = cell.TasksPerSec
+			} else if base > 0 {
+				cell.OverheadPct = (base - cell.TasksPerSec) / base * 100
+			}
+			var s99, st99, p99 uint64
+			if m.mode != "off" {
+				_, st, err := schedTrial(wl, backend, w, m.opts...)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "latobs:", err)
+					os.Exit(1)
+				}
+				cell.Latencies = st.Latencies
+				if l := st.Latencies; l != nil {
+					s99, st99, p99 = l.SubmitRun.P99, l.StealRun.P99, l.ParkWake.P99
+				}
+			}
+			rep.SchedCells = append(rep.SchedCells, *cell)
+			ts.AddRow(backend.name, m.mode, w, cell.TasksPerSec,
+				fmt.Sprintf("%.1f", cell.OverheadPct), s99, st99, p99)
+		}
+	}
+	o.emit("LATOBS: scheduler lifecycle latency cost (off / lat / lat+trace)", ts)
+
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latobs:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonFlag, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "latobs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", *jsonFlag)
+	}
+}

@@ -1,0 +1,212 @@
+// Dequetop is a polling terminal dashboard over the flat-text telemetry
+// endpoint (deque.TelemetryHandler): live per-deque and per-scheduler
+// operation rates and latency quantiles, rendered top-style in place.
+//
+//	dequetop -url http://localhost:8080/telemetry [-interval 1s] [-once]
+//
+// Each frame fetches the endpoint, diffs counters against the previous
+// frame for rates, and prints one row per registered deque end plus one
+// per scheduler latency kind.  Latency columns (p50/p99/p999, from the
+// WithLatency histograms) show "-" for components registered without
+// latency enabled — the dashboard degrades to a rate monitor.  -once
+// prints a single frame without clearing the screen, for scripts and
+// smoke tests.
+//
+// The endpoint is whatever the observed process mounted: examples wire
+// deque.TelemetryHandler at /telemetry (see examples/worksteal -listen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	urlFlag      = flag.String("url", "http://localhost:8080/telemetry", "flat-text telemetry endpoint to poll")
+	intervalFlag = flag.Duration("interval", time.Second, "polling interval")
+	onceFlag     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+)
+
+func main() {
+	flag.Parse()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var prev counters
+	var prevAt time.Time
+	for {
+		cur, err := fetch(client, *urlFlag)
+		now := time.Now()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dequetop: %v\n", err)
+			if *onceFlag {
+				os.Exit(1)
+			}
+			time.Sleep(*intervalFlag)
+			continue
+		}
+		var b strings.Builder
+		render(&b, cur, prev, now.Sub(prevAt))
+		if !*onceFlag {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear: redraw in place
+		}
+		fmt.Print(b.String())
+		if *onceFlag {
+			return
+		}
+		prev, prevAt = cur, now
+		time.Sleep(*intervalFlag)
+	}
+}
+
+// counters is one scrape: flat key → value.
+type counters map[string]uint64
+
+// fetch scrapes the endpoint and parses its `key value` lines.
+func fetch(client *http.Client, url string) (counters, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parse(string(body)), nil
+}
+
+// parse reads the flat text form: one `key value` pair per line,
+// skipping anything that does not parse (forward compatibility with new
+// line shapes).
+func parse(text string) counters {
+	c := counters{}
+	for _, line := range strings.Split(text, "\n") {
+		key, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		c[key] = v
+	}
+	return c
+}
+
+// names returns the registered component names, split into deques
+// (entries with per-end counters) and schedulers (entries with
+// .sched. counters).  One name can be both (a scheduler and a deque
+// registered under the same name are distinct registry entries, but the
+// flat text merges on name).
+func names(c counters) (deques, scheds []string) {
+	dset, sset := map[string]bool{}, map[string]bool{}
+	for k := range c {
+		if name, ok := strings.CutSuffix(k, ".right.pushes"); ok {
+			dset[name] = true
+		}
+		if name, ok := strings.CutSuffix(k, ".sched.runs"); ok {
+			sset[name] = true
+		}
+	}
+	for n := range dset {
+		deques = append(deques, n)
+	}
+	for n := range sset {
+		scheds = append(scheds, n)
+	}
+	sort.Strings(deques)
+	sort.Strings(scheds)
+	return deques, scheds
+}
+
+// opsOf sums one end's completed operations (the four outcome classes).
+func opsOf(c counters, name, end string) uint64 {
+	p := name + "." + end + "."
+	return c[p+"pushes"] + c[p+"pops"] + c[p+"full_hits"] + c[p+"empty_hits"]
+}
+
+// rate renders a per-second delta, or "-" when no previous frame exists.
+func rate(cur, prev uint64, elapsed time.Duration) string {
+	if elapsed <= 0 || elapsed > 24*time.Hour {
+		return "-"
+	}
+	if cur < prev {
+		return "-" // counter reset (component re-registered)
+	}
+	return fmt.Sprintf("%.0f", float64(cur-prev)/elapsed.Seconds())
+}
+
+// dur renders a nanosecond quantile compactly, "-" when the histogram
+// is absent or empty.
+func dur(c counters, key string, present bool) string {
+	if !present {
+		return "-"
+	}
+	return time.Duration(c[key]).Round(10 * time.Nanosecond).String()
+}
+
+// render draws one frame: a deque table (one row per end) and a
+// scheduler table (one row per lifecycle latency kind).
+func render(b *strings.Builder, cur, prev counters, elapsed time.Duration) {
+	deques, scheds := names(cur)
+	fmt.Fprintf(b, "dequetop  %s  deques=%d scheds=%d\n\n",
+		time.Now().Format("15:04:05"), len(deques), len(scheds))
+
+	if len(deques) > 0 {
+		fmt.Fprintf(b, "%-20s %-6s %10s %10s %10s %10s %10s %10s %10s\n",
+			"DEQUE", "END", "OPS", "OPS/S", "RETRIES", "P50", "P99", "P999", "SPIN-P99")
+		for _, n := range deques {
+			for _, end := range []string{"left", "right"} {
+				lat := n + "." + end + ".lat.op."
+				hasLat := cur[lat+"n"] > 0
+				spin := n + "." + end + ".lat.spin."
+				hasSpin := cur[spin+"n"] > 0
+				fmt.Fprintf(b, "%-20s %-6s %10d %10s %10d %10s %10s %10s %10s\n",
+					n, end,
+					opsOf(cur, n, end),
+					rate(opsOf(cur, n, end), opsOf(prev, n, end), elapsed),
+					cur[n+"."+end+".retries"],
+					dur(cur, lat+"p50", hasLat),
+					dur(cur, lat+"p99", hasLat),
+					dur(cur, lat+"p999", hasLat),
+					dur(cur, spin+"p99", hasSpin))
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(scheds) > 0 {
+		fmt.Fprintf(b, "%-20s %10s %10s %10s %10s %10s\n",
+			"SCHED", "RUNS", "RUNS/S", "STEALS", "PARKS", "WAKES")
+		for _, n := range scheds {
+			p := n + ".sched."
+			fmt.Fprintf(b, "%-20s %10d %10s %10d %10d %10d\n",
+				n, cur[p+"runs"], rate(cur[p+"runs"], prev[p+"runs"], elapsed),
+				cur[p+"steals"], cur[p+"parks"], cur[p+"wakes"])
+			for _, kind := range []string{"submit_run", "steal_run", "park_wake"} {
+				lp := p + "lat." + kind + "."
+				if _, tracked := cur[lp+"n"]; !tracked {
+					continue
+				}
+				has := cur[lp+"n"] > 0
+				fmt.Fprintf(b, "  %-18s %10d %10s %10s %10s %10s\n",
+					kind, cur[lp+"n"], "",
+					dur(cur, lp+"p50", has), dur(cur, lp+"p99", has), dur(cur, lp+"p999", has))
+			}
+		}
+	}
+	if len(deques) == 0 && len(scheds) == 0 {
+		b.WriteString("no registered deques or schedulers at this endpoint\n")
+	}
+}

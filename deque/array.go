@@ -39,7 +39,7 @@ func NewArray[T any](capacity int, opts ...Option) *Array[T] {
 	}
 	var inst *instruments
 	if cfg.telemetry {
-		inst = newInstruments(cfg.telemetryName)
+		inst = newInstruments(cfg.telemetryName, cfg.latency)
 		prov, cfg.backoff = inst.instrument(prov, cfg.backoff)
 	}
 	coreOpts := []arraydeque.Option{

@@ -50,7 +50,7 @@ func NewChaseLev[T any](opts ...Option) *ChaseLev[T] {
 	}
 	var inst *instruments
 	if cfg.telemetry {
-		inst = newInstruments(cfg.telemetryName)
+		inst = newInstruments(cfg.telemetryName, cfg.latency)
 		if cfg.backoff != nil {
 			// Clone so this deque's backoff spins land in this deque's
 			// stats (the policy may be shared across deques).  There is no

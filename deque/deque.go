@@ -100,6 +100,7 @@ type config struct {
 	backoff        *dcas.BackoffPolicy
 	telemetry      bool
 	telemetryName  string
+	latency        bool
 }
 
 func defaultConfig() config {

@@ -80,7 +80,7 @@ func NewList[T any](opts ...Option) *List[T] {
 	}
 	var inst *instruments
 	if cfg.telemetry {
-		inst = newInstruments(cfg.telemetryName)
+		inst = newInstruments(cfg.telemetryName, cfg.latency)
 		prov, cfg.backoff = inst.instrument(prov, cfg.backoff)
 	}
 	coreOpts := []listdeque.Option{

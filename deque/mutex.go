@@ -5,6 +5,7 @@ import (
 	"unsafe"
 
 	"dcasdeque/internal/baseline/mutexdeque"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/telemetry"
 )
@@ -19,6 +20,7 @@ type Mutex[T any] struct {
 	slots []T
 	free  chan int
 	inst  *instruments
+	lat   bool // inst non-nil with latency enabled: stamp operations
 
 	bound     uint64 // WithMemoryBound budget; 0 = unbounded
 	slotBytes uint64
@@ -48,7 +50,7 @@ func NewMutex[T any](capacity int, opts ...Option) *Mutex[T] {
 	}
 	var inst *instruments
 	if cfg.telemetry {
-		inst = newInstruments(cfg.telemetryName)
+		inst = newInstruments(cfg.telemetryName, cfg.latency)
 	}
 	// Slot headroom beyond capacity: pushes box before discovering the
 	// deque is full, so concurrent losing pushes need slots too.
@@ -61,6 +63,7 @@ func NewMutex[T any](capacity int, opts ...Option) *Mutex[T] {
 		bound:     cfg.memBound,
 		slotBytes: uint64(unsafe.Sizeof(probe)),
 		inst:      inst,
+		lat:       cfg.latency,
 	}
 	for i := 0; i < nslots; i++ {
 		m.free <- i
@@ -69,11 +72,23 @@ func NewMutex[T any](capacity int, opts ...Option) *Mutex[T] {
 	return m
 }
 
-// note records a completed operation when telemetry is enabled.
-func (d *Mutex[T]) note(end telemetry.End, outcome telemetry.Counter) {
+// note records a completed operation when telemetry is enabled.  start
+// is the operation's entry stamp (tstart), 0 when latency is off; the
+// baseline has no retries, so the spin histogram stays empty and the
+// op histogram measures lock-acquisition plus boxing.
+func (d *Mutex[T]) note(end telemetry.End, outcome telemetry.Counter, start int64) {
 	if d.inst != nil {
-		d.inst.sink.Op(end, outcome, 0)
+		d.inst.sink.OpTimed(end, outcome, 0, start)
 	}
+}
+
+// tstart stamps an operation's entry when latency recording is enabled;
+// 0 otherwise, so the disabled path never reads the clock.
+func (d *Mutex[T]) tstart() int64 {
+	if d.lat {
+		return metrics.Nanotime()
+	}
+	return 0
 }
 
 // Stats returns the deque's telemetry snapshot; ok is false (and the
@@ -121,65 +136,69 @@ func (d *Mutex[T]) unbox(h uint64) T {
 
 // PushLeft implements Deque.
 func (d *Mutex[T]) PushLeft(v T) error {
+	start := d.tstart()
 	if err := d.admit(); err != nil {
 		return err
 	}
 	h, ok := d.box(v)
 	if !ok {
-		d.note(telemetry.Left, telemetry.FullHits)
+		d.note(telemetry.Left, telemetry.FullHits, start)
 		return ErrFull
 	}
 	if d.core.PushLeft(h) == spec.Full {
 		d.unbox(h)
-		d.note(telemetry.Left, telemetry.FullHits)
+		d.note(telemetry.Left, telemetry.FullHits, start)
 		return ErrFull
 	}
-	d.note(telemetry.Left, telemetry.Pushes)
+	d.note(telemetry.Left, telemetry.Pushes, start)
 	return nil
 }
 
 // PushRight implements Deque.
 func (d *Mutex[T]) PushRight(v T) error {
+	start := d.tstart()
 	if err := d.admit(); err != nil {
 		return err
 	}
 	h, ok := d.box(v)
 	if !ok {
-		d.note(telemetry.Right, telemetry.FullHits)
+		d.note(telemetry.Right, telemetry.FullHits, start)
 		return ErrFull
 	}
 	if d.core.PushRight(h) == spec.Full {
 		d.unbox(h)
-		d.note(telemetry.Right, telemetry.FullHits)
+		d.note(telemetry.Right, telemetry.FullHits, start)
 		return ErrFull
 	}
-	d.note(telemetry.Right, telemetry.Pushes)
+	d.note(telemetry.Right, telemetry.Pushes, start)
 	return nil
 }
 
 // PopLeft implements Deque.
 func (d *Mutex[T]) PopLeft() (T, error) {
+	start := d.tstart()
 	h, r := d.core.PopLeft()
 	if r == spec.Empty {
-		d.note(telemetry.Left, telemetry.EmptyHits)
+		d.note(telemetry.Left, telemetry.EmptyHits, start)
 		var zero T
 		return zero, ErrEmpty
 	}
 	v := d.unbox(h)
-	d.note(telemetry.Left, telemetry.Pops)
+	d.note(telemetry.Left, telemetry.Pops, start)
 	return v, nil
 }
 
 // PopRight implements Deque.
 func (d *Mutex[T]) PopRight() (T, error) {
+	start := d.tstart()
 	h, r := d.core.PopRight()
 	if r == spec.Empty {
-		d.note(telemetry.Right, telemetry.EmptyHits)
+		d.note(telemetry.Right, telemetry.EmptyHits, start)
 		var zero T
 		return zero, ErrEmpty
 	}
 	v := d.unbox(h)
-	d.note(telemetry.Right, telemetry.Pops)
+	d.note(telemetry.Right, telemetry.Pops, start)
 	return v, nil
 }
 

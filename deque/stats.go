@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/telemetry"
 )
 
@@ -30,6 +31,23 @@ func WithTelemetryName(name string) Option {
 	return func(c *config) {
 		c.telemetry = true
 		c.telemetryName = name
+	}
+}
+
+// WithLatency enables operation-latency histograms on top of the
+// counters (implying WithTelemetry): each completed operation's
+// duration — entry to the return following its linearization point — is
+// recorded into a per-end sharded histogram, and the durations of
+// contended operations (those that retried) additionally into a
+// separate spin histogram, both readable through Stats().Latency and
+// the exporters.  The enabled cost is two monotonic clock reads plus
+// one or two sharded histogram records per operation (see EXPERIMENTS.md
+// LATOBS for the measured overhead); disabled, the deque never reads
+// the clock.
+func WithLatency() Option {
+	return func(c *config) {
+		c.telemetry = true
+		c.latency = true
 	}
 }
 
@@ -83,6 +101,43 @@ type LocationStats struct {
 	Failures uint64 `json:"failures"`
 }
 
+// HistogramStats summarize one latency histogram: observation count,
+// total, extremes and quantiles, all in nanoseconds.  Quantiles are
+// log-linear bucket upper bounds (≤12.5% relative error).
+type HistogramStats struct {
+	N    uint64 `json:"n"`
+	Sum  uint64 `json:"sum"`
+	Min  uint64 `json:"min"`
+	Max  uint64 `json:"max"`
+	P50  uint64 `json:"p50"`
+	P90  uint64 `json:"p90"`
+	P99  uint64 `json:"p99"`
+	P999 uint64 `json:"p999"`
+}
+
+// Mean reports the mean observation, or 0 when empty.
+func (h HistogramStats) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// EndLatencyStats are one end's latency histograms: Op covers every
+// completed operation; Spin covers the contended subpopulation
+// (operations that retried at least once).
+type EndLatencyStats struct {
+	Op   HistogramStats `json:"op"`
+	Spin HistogramStats `json:"spin"`
+}
+
+// LatencyStats are the deque's per-end latency summaries; present on
+// Stats only when the deque was built with WithLatency.
+type LatencyStats struct {
+	Left  EndLatencyStats `json:"left"`
+	Right EndLatencyStats `json:"right"`
+}
+
 // Stats is a point-in-time snapshot of a deque's telemetry.  Totals are
 // sums over unsynchronized shard reads: exact after quiescence, monotone
 // per counter, but a snapshot taken mid-operation may split an
@@ -95,6 +150,8 @@ type Stats struct {
 	// Locations attribute the DCAS totals per shared word, most-contended
 	// ends first discoverable by sorting on Failures.
 	Locations []LocationStats `json:"locations,omitempty"`
+	// Latency is present only for deques built with WithLatency.
+	Latency *LatencyStats `json:"latency,omitempty"`
 }
 
 // TelemetryHandler serves every deque registered with WithTelemetryName
@@ -102,6 +159,12 @@ type Stats struct {
 // data is published as the "dcasdeque" expvar variable, so it also
 // appears under the standard /debug/vars endpoint.
 func TelemetryHandler() http.Handler { return telemetry.Handler() }
+
+// PrometheusHandler serves the same registry in the Prometheus text
+// exposition format: counters as *_total families, the WithLatency
+// histograms as native `le`-bucketed histograms in seconds plus
+// pre-computed quantile gauges.  Mount at /metrics for scraping.
+func PrometheusHandler() http.Handler { return telemetry.PrometheusHandler() }
 
 // instruments is the per-deque telemetry state the public wrappers carry
 // when telemetry is enabled; nil means disabled.
@@ -112,12 +175,17 @@ type instruments struct {
 	unregister func()
 }
 
-// newInstruments builds the enabled-telemetry state: a counter sink and
-// a DCAS attribution table.  Exporter registration is deferred to bind,
-// which the constructor calls once the deque exists, so the registered
-// entry can include the deque's memory snapshotter.
-func newInstruments(name string) *instruments {
-	return &instruments{name: name, sink: telemetry.NewSink(), dcas: new(dcas.AttrStats)}
+// newInstruments builds the enabled-telemetry state: a counter sink
+// (with latency histograms attached when requested) and a DCAS
+// attribution table.  Exporter registration is deferred to bind, which
+// the constructor calls once the deque exists, so the registered entry
+// can include the deque's memory snapshotter.
+func newInstruments(name string, latency bool) *instruments {
+	sink := telemetry.NewSink()
+	if latency {
+		sink.EnableLatency()
+	}
+	return &instruments{name: name, sink: sink, dcas: new(dcas.AttrStats)}
 }
 
 // bind completes construction: when the deque was named
@@ -150,7 +218,24 @@ func (in *instruments) stats() Stats {
 	for _, l := range in.dcas.PerLocation() {
 		st.Locations = append(st.Locations, LocationStats(l))
 	}
+	if sn.Latency != nil {
+		st.Latency = &LatencyStats{
+			Left:  endLatencyStats(sn.Latency.Left),
+			Right: endLatencyStats(sn.Latency.Right),
+		}
+	}
 	return st
+}
+
+func endLatencyStats(el telemetry.EndLatency) EndLatencyStats {
+	return EndLatencyStats{Op: histogramStats(el.Op), Spin: histogramStats(el.Spin)}
+}
+
+func histogramStats(h metrics.HistogramSnapshot) HistogramStats {
+	return HistogramStats{
+		N: h.N, Sum: h.Sum, Min: h.Min, Max: h.Max,
+		P50: h.P50, P90: h.P90, P99: h.P99, P999: h.P999,
+	}
 }
 
 // close drops the exporter registration, if any.

@@ -204,6 +204,95 @@ func TestStatsContended(t *testing.T) {
 	}
 }
 
+// TestStatsLatency: WithLatency attaches per-end histograms whose op
+// counts match the completed-operation totals, on every backend that
+// supports the standard exercise.
+func TestStatsLatency(t *testing.T) {
+	build := map[string]func() Deque[int]{
+		"array":      func() Deque[int] { return NewArray[int](16, WithLatency()) },
+		"list":       func() Deque[int] { return NewList[int](WithLatency()) },
+		"list-dummy": func() Deque[int] { return NewList[int](WithDummyNodes(), WithLatency()) },
+		"list-lfrc":  func() Deque[int] { return NewList[int](WithLFRC(), WithLatency()) },
+		"mutex":      func() Deque[int] { return NewMutex[int](16, WithLatency()) },
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			d := mk()
+			exercise(t, d)
+			st, ok := d.(interface{ Stats() (Stats, bool) }).Stats()
+			if !ok {
+				t.Fatal("Stats not ok with WithLatency (it implies WithTelemetry)")
+			}
+			checkExercised(t, st, name != "mutex")
+			l := st.Latency
+			if l == nil {
+				t.Fatal("Stats.Latency nil with WithLatency")
+			}
+			// Every completed operation — successes and boundary hits alike —
+			// records one op-latency sample at its flush.
+			wantLeft := st.Left.Pushes + st.Left.Pops + st.Left.FullHits + st.Left.EmptyHits
+			wantRight := st.Right.Pushes + st.Right.Pops + st.Right.FullHits + st.Right.EmptyHits
+			if l.Left.Op.N != wantLeft || l.Right.Op.N != wantRight {
+				t.Fatalf("op samples = %d/%d, want %d/%d (left/right)",
+					l.Left.Op.N, l.Right.Op.N, wantLeft, wantRight)
+			}
+			// The spin histogram covers only the contended subpopulation.
+			if l.Left.Spin.N > l.Left.Op.N || l.Right.Spin.N > l.Right.Op.N {
+				t.Fatalf("spin samples exceed op samples: %+v", l)
+			}
+			if l.Left.Op.Max < l.Left.Op.Min || l.Left.Op.Sum == 0 {
+				t.Fatalf("degenerate left op histogram: %+v", l.Left.Op)
+			}
+			if m := l.Left.Op.Mean(); m <= 0 {
+				t.Fatalf("left op mean = %v", m)
+			}
+		})
+	}
+}
+
+// TestStatsLatencyChaseLev: the owner/thief deque records latency on its
+// supported operations, including exactly one sample per PopLMany batch.
+func TestStatsLatencyChaseLev(t *testing.T) {
+	d := NewChaseLev[int](WithLatency())
+	for i := 0; i < 10; i++ {
+		if err := d.PushRight(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.PopRight(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PopLMany(4); len(got) != 4 {
+		t.Fatalf("PopLMany = %d items, want 4", len(got))
+	}
+	if err := d.PushLeft(0); err != ErrUnsupported {
+		t.Fatalf("PushLeft: %v", err)
+	}
+	st, ok := d.Stats()
+	if !ok || st.Latency == nil {
+		t.Fatal("Stats/Latency missing with WithLatency")
+	}
+	// 10 pushes + 1 pop on the right; the 4-pop batch is one commit and
+	// one latency sample on the left; the rejected PushLeft records none.
+	if st.Latency.Right.Op.N != 11 {
+		t.Fatalf("right op samples = %d, want 11", st.Latency.Right.Op.N)
+	}
+	if st.Latency.Left.Op.N != 1 {
+		t.Fatalf("left op samples = %d, want 1 (one per batch)", st.Latency.Left.Op.N)
+	}
+}
+
+// TestStatsLatencyAbsentWithoutOption: plain WithTelemetry must not grow
+// histograms — the latency surface stays opt-in.
+func TestStatsLatencyAbsentWithoutOption(t *testing.T) {
+	d := NewArray[int](16, WithTelemetry())
+	exercise(t, d)
+	st, _ := d.Stats()
+	if st.Latency != nil {
+		t.Fatal("Stats.Latency present without WithLatency")
+	}
+}
+
 // TestStatsExported: WithTelemetryName surfaces the deque through the
 // text handler and the expvar variable.
 func TestStatsExported(t *testing.T) {

@@ -23,6 +23,15 @@
 // exporter for the same numbers.
 //
 // Run with: go run ./examples/worksteal [-workers 4] [-depth 18]
+//
+// With -listen the example becomes a live observability target: it
+// serves the flat-text endpoint at /telemetry (poll it with dequetop),
+// the Prometheus exposition at /metrics, and net/http/pprof under
+// /debug/pprof, then re-runs the tree sum forever so the counters and
+// latency histograms keep moving:
+//
+//	go run ./examples/worksteal -listen :8080 &
+//	go run ./cmd/dequetop -url http://localhost:8080/telemetry
 package main
 
 import (
@@ -30,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
+	_ "net/http/pprof" // -listen mode: profiles under /debug/pprof
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +54,7 @@ import (
 var (
 	workersFlag = flag.Int("workers", 4, "number of workers")
 	depthFlag   = flag.Int("depth", 18, "task-tree depth (2^depth leaves)")
+	listenFlag  = flag.String("listen", "", "serve /telemetry, /metrics and /debug/pprof on this address and loop the workload (e.g. :8080)")
 )
 
 var sum atomic.Uint64 // Σ leaf values
@@ -61,12 +73,20 @@ func main() {
 		sched.WithWorkers(nWorkers),
 		sched.WithDeques(func(id int) deque.Deque[sched.Task] {
 			d := deque.NewArray[sched.Task](1024,
-				deque.WithTelemetryName(fmt.Sprintf("worker%d", id)))
+				deque.WithTelemetryName(fmt.Sprintf("worker%d", id)),
+				deque.WithLatency())
 			deques[id] = d
 			return d
 		}),
 		sched.WithTelemetryName("worksteal"),
+		sched.WithLatency(),
+		sched.WithTracing(),
 	)
+
+	if *listenFlag != "" {
+		serve(s, *listenFlag, depth)
+		return // unreachable: serve loops forever
+	}
 
 	// sumTree sums the subtree rooted at node with the given remaining
 	// depth; leafValue(n) = n.
@@ -178,4 +198,44 @@ func okStr(ok bool) string {
 		return "OK"
 	}
 	return "MISMATCH"
+}
+
+// serve mounts the observability endpoints and re-runs the tree sum
+// forever, so a dashboard pointed at the process sees live counters and
+// latency quantiles.  pprof's handlers are on http.DefaultServeMux via
+// the blank import; mounting our handlers there too keeps one mux.
+func serve(s *sched.Scheduler, addr string, depth int) {
+	http.Handle("/telemetry", deque.TelemetryHandler())
+	http.Handle("/metrics", deque.PrometheusHandler())
+	go func() {
+		log.Printf("serving /telemetry, /metrics, /debug/pprof on %s", addr)
+		log.Fatal(http.ListenAndServe(addr, nil))
+	}()
+	for round := uint64(1); ; round++ {
+		var wg sync.WaitGroup
+		var sumTree func(node uint64, depth int) sched.Task
+		sumTree = func(node uint64, depth int) sched.Task {
+			return func(w *sched.Worker) {
+				defer wg.Done()
+				if depth == 0 {
+					sum.Add(node)
+					return
+				}
+				wg.Add(2)
+				w.Spawn(sumTree(2*node, depth-1))
+				w.Spawn(sumTree(2*node+1, depth-1))
+			}
+		}
+		wg.Add(1)
+		if err := s.Submit(sumTree(1, depth)); err != nil {
+			log.Fatal(err)
+		}
+		wg.Wait()
+		if round%10 == 0 {
+			if st, ok := s.Stats(); ok {
+				log.Printf("round %d: runs=%d steals=%d", round, st.Total.Runs, st.Total.Steals)
+			}
+		}
+		time.Sleep(100 * time.Millisecond) // let parks happen between rounds
+	}
 }

@@ -56,6 +56,14 @@ type Obligation struct {
 	// dynamically; nil means the telemhook analyzer does not check the
 	// function.
 	Counters []string
+	// Timed marks an operation that participates in the latency
+	// observability contract: the function must stamp its entry
+	// (`start := d.tstart()`) and every counter flush must carry the
+	// stamp to the sink — either the flush call itself mentions `start`
+	// (the OpTimed path through the note helpers) or, for counters moved
+	// via a bulk Add, a companion Latency call carries it.  Checked by
+	// the telemhook analyzer; meaningless without Counters.
+	Timed bool
 }
 
 // commitNames are the call names that can carry a linearization point.

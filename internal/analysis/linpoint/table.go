@@ -39,12 +39,18 @@ package linpoint
 // be incremented somewhere in the function.  Batch wrappers delegate to
 // the single pops and move no counters of their own, so their entries
 // stay nil.
+//
+// Timed extends the binding to the latency contract (PR 9): the
+// operation stamps its entry and every counter flush carries the stamp,
+// so the WithLatency histograms sample exactly the counted population.
+// Every counter-obligated operation is Timed except rejections that
+// return before doing any work (the Chase–Lev unsupported PushLeft).
 var DefaultTable = map[string][]Obligation{
 	"dcasdeque/internal/core/arraydeque": {
-		{Func: "Deque.PopRight", Points: 7, Paper: "Fig 2, §5.1", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "Deque.PushRight", Points: 7, Paper: "Fig 3, §5.1", Counters: []string{"Pushes", "FullHits"}},
-		{Func: "Deque.PopLeft", Points: 7, Paper: "Fig 30, §5.1", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "Deque.PushLeft", Points: 7, Paper: "Fig 31, §5.1", Counters: []string{"Pushes", "FullHits"}},
+		{Func: "Deque.PopRight", Points: 7, Paper: "Fig 2, §5.1", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "Deque.PushRight", Points: 7, Paper: "Fig 3, §5.1", Counters: []string{"Pushes", "FullHits"}, Timed: true},
+		{Func: "Deque.PopLeft", Points: 7, Paper: "Fig 30, §5.1", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "Deque.PushLeft", Points: 7, Paper: "Fig 31, §5.1", Counters: []string{"Pushes", "FullHits"}, Timed: true},
 
 		// Batch pops are sequences of the single pops above; each value
 		// linearizes inside the pop that took it, and a zero obligation
@@ -53,20 +59,20 @@ var DefaultTable = map[string][]Obligation{
 		{Func: "Deque.PopRightMany", Points: 0, Paper: "batch of Fig 2 pops"},
 	},
 	"dcasdeque/internal/core/listdeque": {
-		{Func: "Deque.PopRight", Points: 2, Paper: "Fig 18, §5.2", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "Deque.PushRight", Points: 1, Paper: "Fig 19, §5.2", Counters: []string{"Pushes"}},
-		{Func: "Deque.PopLeft", Points: 2, Paper: "Fig 18 mirrored, §5.2", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "Deque.PushLeft", Points: 1, Paper: "Fig 19 mirrored, §5.2", Counters: []string{"Pushes"}},
+		{Func: "Deque.PopRight", Points: 2, Paper: "Fig 18, §5.2", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "Deque.PushRight", Points: 1, Paper: "Fig 19, §5.2", Counters: []string{"Pushes"}, Timed: true},
+		{Func: "Deque.PopLeft", Points: 2, Paper: "Fig 18 mirrored, §5.2", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "Deque.PushLeft", Points: 1, Paper: "Fig 19 mirrored, §5.2", Counters: []string{"Pushes"}, Timed: true},
 
-		{Func: "DummyDeque.PopRight", Points: 2, Paper: "Fig 22, §5.2", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "DummyDeque.PushRight", Points: 1, Paper: "Fig 23, §5.2", Counters: []string{"Pushes"}},
-		{Func: "DummyDeque.PopLeft", Points: 2, Paper: "Fig 22 mirrored, §5.2", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "DummyDeque.PushLeft", Points: 1, Paper: "Fig 23 mirrored, §5.2", Counters: []string{"Pushes"}},
+		{Func: "DummyDeque.PopRight", Points: 2, Paper: "Fig 22, §5.2", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "DummyDeque.PushRight", Points: 1, Paper: "Fig 23, §5.2", Counters: []string{"Pushes"}, Timed: true},
+		{Func: "DummyDeque.PopLeft", Points: 2, Paper: "Fig 22 mirrored, §5.2", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "DummyDeque.PushLeft", Points: 1, Paper: "Fig 23 mirrored, §5.2", Counters: []string{"Pushes"}, Timed: true},
 
-		{Func: "LFRCDeque.PopRight", Points: 2, Paper: "Fig 24, §5.2", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "LFRCDeque.PushRight", Points: 1, Paper: "Fig 25, §5.2", Counters: []string{"Pushes"}},
-		{Func: "LFRCDeque.PopLeft", Points: 2, Paper: "Fig 24 mirrored, §5.2", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "LFRCDeque.PushLeft", Points: 1, Paper: "Fig 25 mirrored, §5.2", Counters: []string{"Pushes"}},
+		{Func: "LFRCDeque.PopRight", Points: 2, Paper: "Fig 24, §5.2", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "LFRCDeque.PushRight", Points: 1, Paper: "Fig 25, §5.2", Counters: []string{"Pushes"}, Timed: true},
+		{Func: "LFRCDeque.PopLeft", Points: 2, Paper: "Fig 24 mirrored, §5.2", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "LFRCDeque.PushLeft", Points: 1, Paper: "Fig 25 mirrored, §5.2", Counters: []string{"Pushes"}, Timed: true},
 
 		// Batch pops: sequences of the single pops above, obligated to
 		// zero commit sites of their own (see the arraydeque entries).
@@ -90,11 +96,13 @@ var DefaultTable = map[string][]Obligation{
 	// are decided by loads ordered before or after that same word's
 	// history, not by additional RMWs).
 	"dcasdeque/internal/core/chaselev": {
-		{Func: "Deque.PushRight", Points: 0, Paper: "CL §3 pushBottom: plain bottom store", Counters: []string{"Pushes"}},
-		{Func: "Deque.PopRight", Points: 1, Paper: "CL §3 popBottom boundary CAS", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "Deque.PopLeft", Points: 1, Paper: "CL §3 steal CAS", Counters: []string{"Pops", "EmptyHits"}},
-		{Func: "Deque.PopLeftMany", Points: 1, Paper: "stamped-top batch claim CAS", Counters: []string{"Pops", "EmptyHits"}},
+		{Func: "Deque.PushRight", Points: 0, Paper: "CL §3 pushBottom: plain bottom store", Counters: []string{"Pushes"}, Timed: true},
+		{Func: "Deque.PopRight", Points: 1, Paper: "CL §3 popBottom boundary CAS", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "Deque.PopLeft", Points: 1, Paper: "CL §3 steal CAS", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+		{Func: "Deque.PopLeftMany", Points: 1, Paper: "stamped-top batch claim CAS", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
 		{Func: "Deque.PopRightMany", Points: 0, Paper: "batch of popBottom pops"},
+		// Not Timed: the unsupported-end rejection is immediate, so it
+		// records no operation latency (the core passes start 0).
 		{Func: "Deque.PushLeft", Points: 0, Paper: "unsupported: CL has no pushTop", Counters: []string{"FullHits"}},
 	},
 }

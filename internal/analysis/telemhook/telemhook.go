@@ -29,6 +29,18 @@
 // `d.tel.Add(end, telemetry.Pops, n)`.  Functions whose obligation
 // declares no Counters are not checked; packages absent from the table
 // are ignored entirely.
+//
+// Obligations marked Timed additionally pin the latency-observability
+// contract (PR 9): the operation stamps its entry once
+// (`start := d.tstart()`) and every flush of a declared counter carries
+// the stamp to the sink, so the histogram's sample population is exactly
+// the counters' — an operation counted but not timed would silently
+// skew the quantiles toward whichever outcomes still stamp.  A flush
+// carries the stamp when the call's arguments mention the identifier
+// `start`; counters moved through a bulk `Add` (the Chase–Lev batch
+// steal, whose k pops are one commit and one latency sample) are
+// excused per call, provided the function flushes latency through a
+// `Latency(..., start)` call somewhere.
 package telemhook
 
 import (
@@ -69,9 +81,11 @@ var Analyzer = NewAnalyzer(linpoint.DefaultTable)
 
 func run(pass *framework.Pass, table map[string][]linpoint.Obligation) (any, error) {
 	want := map[string][]string{}
+	timed := map[string]bool{}
 	for _, ob := range table[pass.Pkg.Path()] {
 		if len(ob.Counters) > 0 {
 			want[ob.Func] = ob.Counters
+			timed[ob.Func] = ob.Timed
 		}
 	}
 	if len(want) == 0 {
@@ -98,8 +112,128 @@ func run(pass *framework.Pass, table map[string][]linpoint.Obligation) (any, err
 					funcKey(fl.Decl), c)
 			}
 		}
+		if timed[funcKey(fl.Decl)] {
+			checkTimed(pass, fl.Decl, counters)
+		}
 	}
 	return nil, nil
+}
+
+// checkTimed enforces the Timed half of an obligation: the function
+// stamps `start` and every flush of a declared counter carries it (see
+// the package comment for the bulk-Add exception).
+func checkTimed(pass *framework.Pass, fd *ast.FuncDecl, counters []string) {
+	key := funcKey(fd)
+	stamped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "start" {
+				stamped = true
+			}
+		}
+		return !stamped
+	})
+	if !stamped {
+		pass.Reportf(fd.Name.Pos(),
+			"%s is a timed obligation but never stamps start: its latency samples cannot exist",
+			key)
+		return
+	}
+	needLatency := false
+	hasLatency := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleeName(call) == "Latency" && mentionsStart(call) {
+			hasLatency = true
+		}
+		if !mentionsCounter(call, counters) {
+			return true
+		}
+		if mentionsStart(call) {
+			return true
+		}
+		if calleeName(call) == "Add" {
+			// Bulk bookkeeping: latency flushes through a companion
+			// Latency(..., start) call, checked below.
+			needLatency = true
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"counter flush in timed obligation %s does not carry the start stamp: the outcome is counted but never timed",
+			key)
+		return true
+	})
+	if needLatency && !hasLatency {
+		pass.Reportf(fd.Name.Pos(),
+			"%s moves counters through Add but has no Latency(..., start) flush: the batch outcome is counted but never timed",
+			key)
+	}
+}
+
+// calleeName is the called function's bare name (selector or ident).
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.Ident:
+		return f.Name
+	}
+	return ""
+}
+
+// mentionsStart reports whether any argument mentions the identifier
+// `start`.
+func mentionsStart(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "start" {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsCounter reports whether any argument mentions
+// `telemetry.<c>` for a declared counter c.
+func mentionsCounter(call *ast.CallExpr, counters []string) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || base.Name != "telemetry" {
+				return true
+			}
+			for _, c := range counters {
+				if sel.Sel.Name == c {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
 }
 
 // commitSites returns the commit-capable calls inside fd that carry a

@@ -13,6 +13,9 @@ func TestTelemHook(t *testing.T) {
 		"a": {
 			{Func: "Deque.Pop", Points: 1, Paper: "fixture", Counters: []string{"Pops"}},
 			{Func: "Deque.Push", Points: 1, Paper: "fixture", Counters: []string{"Pushes"}},
+			{Func: "TDeque.Pop", Points: 1, Paper: "fixture", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+			{Func: "TDeque.Push", Points: 1, Paper: "fixture", Counters: []string{"Pushes"}, Timed: true},
+			{Func: "TDeque.PopMany", Points: 1, Paper: "fixture", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
 		},
 	}
 	atest.Run(t, "testdata", telemhook.NewAnalyzer(table), "a")
@@ -26,6 +29,8 @@ func TestTelemHookClean(t *testing.T) {
 			{Func: "LDeque.Pop", Points: 1, Paper: "fixture", Counters: []string{"Pops", "EmptyHits"}},
 			// No Counters: the function is not checked at all.
 			{Func: "LDeque.Drain", Points: 0, Paper: "fixture"},
+			{Func: "TDeque.Pop", Points: 1, Paper: "fixture", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
+			{Func: "TDeque.PopMany", Points: 1, Paper: "fixture", Counters: []string{"Pops", "EmptyHits"}, Timed: true},
 		},
 	}
 	atest.Run(t, "testdata", telemhook.NewAnalyzer(table), "clean")

@@ -38,3 +38,48 @@ func (d *Deque) Push(v uint64) bool { // want `declares telemetry counter Pushes
 	}
 	return false
 }
+
+func tstart() int { return 1 }
+
+type TDeque struct {
+	top atomic.Uint64
+}
+
+// Pop stamps its entry but the empty-outcome flush dropped the stamp:
+// that outcome is counted, never timed, and the histograms skew.
+func (d *TDeque) Pop() (uint64, bool) {
+	start := tstart()
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, w-1) { // linearization point: pop commit
+		note(telemetry.Pops, start)
+		return w, true
+	}
+	note(telemetry.EmptyHits) // want `does not carry the start stamp`
+	return 0, false
+}
+
+// Push never stamps at all despite its Timed obligation.
+func (d *TDeque) Push(v uint64) bool { // want `never stamps start`
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, v) { // linearization point: splice
+		note(telemetry.Pushes)
+		return true
+	}
+	return false
+}
+
+// PopMany moves its counter through Add but forgot the companion
+// Latency flush: the batch is counted but never timed.
+func (d *TDeque) PopMany(max int) int { // want `no Latency\(\.\.\., start\) flush`
+	start := tstart()
+	_ = start
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, 0) { // linearization point: batch claim
+		d.Add(telemetry.Pops, int(w))
+		return int(w)
+	}
+	note(telemetry.EmptyHits, start)
+	return 0
+}
+
+func (d *TDeque) Add(args ...int) {}

@@ -71,3 +71,41 @@ func (d *LDeque) Drain() {
 		}
 	}
 }
+
+func tstart() int         { return 1 }
+func latency(args ...int) {}
+
+type TDeque struct {
+	top atomic.Uint64
+}
+
+// Pop satisfies a Timed obligation directly: the entry stamp and every
+// flush carrying it.
+func (d *TDeque) Pop() (uint64, bool) {
+	start := tstart()
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, w-1) { // linearization point: pop commit
+		note(telemetry.Pops, start)
+		return w, true
+	}
+	note(telemetry.EmptyHits, start)
+	return 0, false
+}
+
+// PopMany satisfies a Timed obligation through the bulk-Add exception:
+// the counter moves via Add without the stamp, and a companion
+// Latency(..., start) call flushes the batch's one latency sample.
+func (d *TDeque) PopMany(max int) int {
+	start := tstart()
+	w := d.top.Load()
+	if d.top.CompareAndSwap(w, 0) { // linearization point: batch claim
+		d.Add(telemetry.Pops, int(w))
+		d.Latency(telemetry.Left, start)
+		return int(w)
+	}
+	note(telemetry.EmptyHits, start)
+	return 0
+}
+
+func (d *TDeque) Add(args ...int)     {}
+func (d *TDeque) Latency(args ...int) {}

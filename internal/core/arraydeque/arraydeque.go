@@ -34,6 +34,7 @@ package arraydeque
 
 import (
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/telemetry"
 )
@@ -71,6 +72,7 @@ type Deque struct {
 	recheckIndex bool
 	strongDCAS   bool
 	tel          *telemetry.Sink
+	lat          bool // tel non-nil with latency enabled: stamp operations
 
 	_ dcas.CacheLinePad
 	//dequevet:contended left end index L, spun on by PopLeft/PushLeft
@@ -170,6 +172,7 @@ func New(n int, opts ...Option) *Deque {
 		recheckIndex: o.recheckIndex,
 		strongDCAS:   o.strongDCAS,
 		tel:          o.tel,
+		lat:          o.tel != nil && o.tel.LatencyEnabled(),
 	}
 	if o.paddedCells {
 		d.shift = cellShift
@@ -195,10 +198,20 @@ func (d *Deque) Cap() int { return int(d.n) }
 // note flushes one completed operation's telemetry.  It is small enough
 // for the inliner, so with no sink attached the cost at every return site
 // is a single inlined nil check — the disabled-telemetry contract.
-func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+// start is the operation's entry stamp (tstart), 0 when latency is off.
+func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64, start int64) {
 	if d.tel != nil {
-		d.tel.Op(end, outcome, retries)
+		d.tel.OpTimed(end, outcome, retries, start)
 	}
+}
+
+// tstart stamps an operation's entry when latency recording is enabled;
+// 0 otherwise, so the disabled path never reads the clock.
+func (d *Deque) tstart() int64 {
+	if d.lat {
+		return metrics.Nanotime()
+	}
+	return 0
 }
 
 // inc returns (i + 1) mod n.  Indices are always in [0, n), so the wrap
@@ -224,10 +237,11 @@ func (d *Deque) dec(i uint64) uint64 {
 // popped from the right end, or (0, Empty) when the deque was observed
 // empty at the operation's linearization point.
 func (d *Deque) PopRight() (uint64, spec.Result) {
+	start := d.tstart()
 	bo := d.backoff.Start()
 	var retries uint64
 	for {
-		oldR := d.endLoad(&d.r)      // line 3
+		oldR := d.endLoad(&d.r) // line 3
 		newR := d.dec(oldR)     // line 4
 		cell := d.cell(newR)    // the paper's S[R-1]
 		oldS := cell.Load()     // line 5
@@ -243,7 +257,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
-					d.note(telemetry.Right, telemetry.EmptyHits, retries)
+					d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 					return 0, spec.Empty
 				}
 			}
@@ -259,7 +273,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, Null) { // linearization point: inlined EndLock commit
 							d.r.RawStore(newR)
-							d.note(telemetry.Right, telemetry.Pops, retries)
+							d.note(telemetry.Right, telemetry.Pops, retries, start)
 							return oldS, spec.Okay // line 16
 						}
 						v1, v2 = oldR, cell.Load() // view under the mark
@@ -273,13 +287,13 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 						oldR, oldS, newR, Null)
 				}
 				if ok {
-					d.note(telemetry.Right, telemetry.Pops, retries)
+					d.note(telemetry.Right, telemetry.Pops, retries, start)
 					return oldS, spec.Okay // line 16
 				}
 				oldR, oldS = v1, v2
 				if oldR == saveR { // line 17
 					if oldS == Null { // line 18: a competing popLeft
-						d.note(telemetry.Right, telemetry.EmptyHits, retries)
+						d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 						return 0, spec.Empty // "stole" the last item (Fig 6)
 					}
 				}
@@ -291,7 +305,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, newR, Null) // linearization point: weak DCAS commit
 				}
 				if ok {
-					d.note(telemetry.Right, telemetry.Pops, retries)
+					d.note(telemetry.Right, telemetry.Pops, retries, start)
 					return oldS, spec.Okay
 				}
 			}
@@ -308,14 +322,15 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 	if v == Null {
 		panic("arraydeque: cannot push the distinguished null value")
 	}
+	start := d.tstart()
 	bo := d.backoff.Start()
 	var retries uint64
 	for {
-		oldR := d.endLoad(&d.r)   // line 3
-		newR := d.inc(oldR)  // line 4
-		cell := d.cell(oldR) // the paper's S[R]
-		oldS := cell.Load()  // line 5
-		if oldS != Null {    // line 6
+		oldR := d.endLoad(&d.r) // line 3
+		newR := d.inc(oldR)     // line 4
+		cell := d.cell(oldR)    // the paper's S[R]
+		oldS := cell.Load()     // line 5
+		if oldS != Null {       // line 6
 			if !d.recheckIndex || oldR == d.endLoad(&d.r) { // line 7
 				var ok bool
 				if d.el != nil {
@@ -324,7 +339,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.r, cell, oldR, oldS, oldR, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
-					d.note(telemetry.Right, telemetry.FullHits, retries)
+					d.note(telemetry.Right, telemetry.FullHits, retries, start)
 					return spec.Full // line 10
 				}
 			}
@@ -338,7 +353,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 					if d.r.RawCAS(oldR, oldR|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, v) { // linearization point: inlined EndLock commit
 							d.r.RawStore(newR)
-							d.note(telemetry.Right, telemetry.Pushes, retries)
+							d.note(telemetry.Right, telemetry.Pushes, retries, start)
 							return spec.Okay // line 16
 						}
 						v1 = oldR // anchor pinned, so the cell was non-null
@@ -352,11 +367,11 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 						oldR, oldS, newR, v)
 				}
 				if ok {
-					d.note(telemetry.Right, telemetry.Pushes, retries)
+					d.note(telemetry.Right, telemetry.Pushes, retries, start)
 					return spec.Okay // line 16
 				}
 				if v1 == saveR { // line 17: R unchanged, so the failure was
-					d.note(telemetry.Right, telemetry.FullHits, retries)
+					d.note(telemetry.Right, telemetry.FullHits, retries, start)
 					return spec.Full // a non-null cell: the deque is full
 				}
 			} else {
@@ -367,7 +382,7 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.r, cell, oldR, Null, newR, v) // linearization point: weak DCAS commit
 				}
 				if ok {
-					d.note(telemetry.Right, telemetry.Pushes, retries)
+					d.note(telemetry.Right, telemetry.Pushes, retries, start)
 					return spec.Okay
 				}
 			}
@@ -379,14 +394,15 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 
 // PopLeft implements Figure 30, the mirror image of PopRight.
 func (d *Deque) PopLeft() (uint64, spec.Result) {
+	start := d.tstart()
 	bo := d.backoff.Start()
 	var retries uint64
 	for {
-		oldL := d.endLoad(&d.l)   // line 3
-		newL := d.inc(oldL)  // line 4
-		cell := d.cell(newL) // the paper's S[L+1]
-		oldS := cell.Load()  // line 5
-		if oldS == Null {    // line 6
+		oldL := d.endLoad(&d.l) // line 3
+		newL := d.inc(oldL)     // line 4
+		cell := d.cell(newL)    // the paper's S[L+1]
+		oldS := cell.Load()     // line 5
+		if oldS == Null {       // line 6
 			if !d.recheckIndex || oldL == d.endLoad(&d.l) { // line 7
 				var ok bool
 				if d.el != nil {
@@ -395,7 +411,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
-					d.note(telemetry.Left, telemetry.EmptyHits, retries)
+					d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 					return 0, spec.Empty
 				}
 			}
@@ -409,7 +425,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, Null) { // linearization point: inlined EndLock commit
 							d.l.RawStore(newL)
-							d.note(telemetry.Left, telemetry.Pops, retries)
+							d.note(telemetry.Left, telemetry.Pops, retries, start)
 							return oldS, spec.Okay
 						}
 						v1, v2 = oldL, cell.Load()
@@ -423,13 +439,13 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 						oldL, oldS, newL, Null)
 				}
 				if ok {
-					d.note(telemetry.Left, telemetry.Pops, retries)
+					d.note(telemetry.Left, telemetry.Pops, retries, start)
 					return oldS, spec.Okay
 				}
 				oldL, oldS = v1, v2
 				if oldL == saveL {
 					if oldS == Null {
-						d.note(telemetry.Left, telemetry.EmptyHits, retries)
+						d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 						return 0, spec.Empty
 					}
 				}
@@ -441,7 +457,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, newL, Null) // linearization point: weak DCAS commit
 				}
 				if ok {
-					d.note(telemetry.Left, telemetry.Pops, retries)
+					d.note(telemetry.Left, telemetry.Pops, retries, start)
 					return oldS, spec.Okay
 				}
 			}
@@ -457,14 +473,15 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 	if v == Null {
 		panic("arraydeque: cannot push the distinguished null value")
 	}
+	start := d.tstart()
 	bo := d.backoff.Start()
 	var retries uint64
 	for {
-		oldL := d.endLoad(&d.l)   // line 3
-		newL := d.dec(oldL)  // line 4
-		cell := d.cell(oldL) // the paper's S[L]
-		oldS := cell.Load()  // line 5
-		if oldS != Null {    // line 6
+		oldL := d.endLoad(&d.l) // line 3
+		newL := d.dec(oldL)     // line 4
+		cell := d.cell(oldL)    // the paper's S[L]
+		oldS := cell.Load()     // line 5
+		if oldS != Null {       // line 6
 			if !d.recheckIndex || oldL == d.endLoad(&d.l) { // line 7
 				var ok bool
 				if d.el != nil {
@@ -473,7 +490,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.l, cell, oldL, oldS, oldL, oldS) // linearization point: boundary confirm (lines 8-10)
 				}
 				if ok {
-					d.note(telemetry.Left, telemetry.FullHits, retries)
+					d.note(telemetry.Left, telemetry.FullHits, retries, start)
 					return spec.Full
 				}
 			}
@@ -487,7 +504,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 					if d.l.RawCAS(oldL, oldL|dcas.EndLockBit) {
 						if cell.RawCAS(oldS, v) { // linearization point: inlined EndLock commit
 							d.l.RawStore(newL)
-							d.note(telemetry.Left, telemetry.Pushes, retries)
+							d.note(telemetry.Left, telemetry.Pushes, retries, start)
 							return spec.Okay
 						}
 						v1 = oldL
@@ -501,11 +518,11 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 						oldL, oldS, newL, v)
 				}
 				if ok {
-					d.note(telemetry.Left, telemetry.Pushes, retries)
+					d.note(telemetry.Left, telemetry.Pushes, retries, start)
 					return spec.Okay
 				}
 				if v1 == saveL {
-					d.note(telemetry.Left, telemetry.FullHits, retries)
+					d.note(telemetry.Left, telemetry.FullHits, retries, start)
 					return spec.Full
 				}
 			} else {
@@ -516,7 +533,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 					ok = d.prov.DCAS(&d.l, cell, oldL, Null, newL, v) // linearization point: weak DCAS commit
 				}
 				if ok {
-					d.note(telemetry.Left, telemetry.Pushes, retries)
+					d.note(telemetry.Left, telemetry.Pushes, retries, start)
 					return spec.Okay
 				}
 			}

@@ -58,6 +58,7 @@ import (
 	"sync/atomic"
 
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/telemetry"
 )
@@ -124,6 +125,7 @@ func (r *ring) put(i int64, h uint64) { r.buf[i&r.mask].Store(h) }
 // lives on.
 type Deque struct {
 	tel     *telemetry.Sink
+	lat     bool // tel non-nil with latency enabled: stamp operations
 	backoff *dcas.BackoffPolicy
 	span    int64
 
@@ -191,7 +193,7 @@ func New(opts ...Option) *Deque {
 	for _, f := range opts {
 		f(&o)
 	}
-	d := &Deque{tel: o.tel, backoff: o.backoff, span: o.span}
+	d := &Deque{tel: o.tel, lat: o.tel != nil && o.tel.LatencyEnabled(), backoff: o.backoff, span: o.span}
 	d.array.Store(newRing(o.ringLog, nil))
 	return d
 }
@@ -229,10 +231,20 @@ func (d *Deque) Rings() telemetry.RingCounts {
 
 // note flushes one completed operation's telemetry; with no sink
 // attached the cost at every return site is a single inlined nil check.
-func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+// start is the operation's entry stamp (tstart), 0 when latency is off.
+func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64, start int64) {
 	if d.tel != nil {
-		d.tel.Op(end, outcome, retries)
+		d.tel.OpTimed(end, outcome, retries, start)
 	}
+}
+
+// tstart stamps an operation's entry when latency recording is enabled;
+// 0 otherwise, so the disabled path never reads the clock.
+func (d *Deque) tstart() int64 {
+	if d.lat {
+		return metrics.Nanotime()
+	}
+	return 0
 }
 
 // grow doubles the ring, copying the live logical indices [t, b) into
@@ -266,6 +278,7 @@ func (d *Deque) PushRight(h uint64) spec.Result {
 	if h == Null {
 		panic("chaselev: cannot push the distinguished null value")
 	}
+	start := d.tstart()
 	b := d.bottom.Load()
 	t, _ := unpack(d.top.Load())
 	a := d.array.Load()
@@ -277,7 +290,7 @@ func (d *Deque) PushRight(h uint64) spec.Result {
 	}
 	a.put(b, h)
 	d.bottom.Store(b + 1) // publish: the push's commit point
-	d.note(telemetry.Right, telemetry.Pushes, 0)
+	d.note(telemetry.Right, telemetry.Pushes, 0, start)
 	return spec.Okay
 }
 
@@ -291,6 +304,7 @@ func (d *Deque) PushRight(h uint64) spec.Result {
 // index itself when it is the last item (the paper's one-element race,
 // generalized to a span-element guard zone).
 func (d *Deque) PopRight() (uint64, spec.Result) {
+	start := d.tstart()
 	bo := d.backoff.Start()
 	var retries uint64
 	b := d.bottom.Load() - 1
@@ -303,7 +317,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 		if size < 0 {
 			// Everything at or above t is claimed; reset the cursor.
 			d.bottom.Store(t)
-			d.note(telemetry.Right, telemetry.EmptyHits, retries)
+			d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		h := a.get(b)
@@ -311,7 +325,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 			// No claim can reach index b: claims span at most span
 			// indices above a top value this pop has already observed
 			// to be far away.
-			d.note(telemetry.Right, telemetry.Pops, retries)
+			d.note(telemetry.Right, telemetry.Pops, retries, start)
 			return h, spec.Okay
 		}
 		nt := t
@@ -322,7 +336,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 			if size == 0 {
 				d.bottom.Store(t + 1)
 			}
-			d.note(telemetry.Right, telemetry.Pops, retries)
+			d.note(telemetry.Right, telemetry.Pops, retries, start)
 			return h, spec.Okay
 		}
 		retries++
@@ -337,6 +351,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 // any boundary interference (owner stamp bump or competing claim)
 // fails the attempt cleanly.
 func (d *Deque) PopLeft() (uint64, spec.Result) {
+	start := d.tstart()
 	bo := d.backoff.Start()
 	var retries uint64
 	for {
@@ -345,12 +360,12 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 		b := d.bottom.Load()
 		a := d.array.Load()
 		if b-t <= 0 {
-			d.note(telemetry.Left, telemetry.EmptyHits, retries)
+			d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		h := a.get(t)
 		if d.top.CompareAndSwap(w, pack(t+1, stamp+1)) { // linearization point: steal commit
-			d.note(telemetry.Left, telemetry.Pops, retries)
+			d.note(telemetry.Left, telemetry.Pops, retries, start)
 			return h, spec.Okay
 		}
 		retries++
@@ -376,6 +391,7 @@ func (d *Deque) PopLeftMany(out []uint64) int {
 	if len(out) == 0 {
 		return 0
 	}
+	start := d.tstart()
 	bo := d.backoff.Start()
 	var retries uint64
 	for {
@@ -385,7 +401,7 @@ func (d *Deque) PopLeftMany(out []uint64) int {
 		a := d.array.Load()
 		size := b - t
 		if size <= 0 {
-			d.note(telemetry.Left, telemetry.EmptyHits, retries)
+			d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 			return 0
 		}
 		k := size
@@ -404,6 +420,9 @@ func (d *Deque) PopLeftMany(out []uint64) int {
 				if retries != 0 {
 					d.tel.Add(telemetry.Left, telemetry.Retries, retries)
 				}
+				// One latency sample for the whole batch: the k pops share
+				// one commit, so they share one duration.
+				d.tel.Latency(telemetry.Left, retries, start)
 			}
 			return int(k)
 		}
@@ -436,6 +455,7 @@ func (d *Deque) PopRightMany(out []uint64) int {
 // exists so the word-level harness interfaces stay uniform.  The
 // owner-restricted stress and model configurations never exercise it.
 func (d *Deque) PushLeft(h uint64) spec.Result {
-	d.note(telemetry.Left, telemetry.FullHits, 0)
+	// start 0: the rejection is immediate, not an operation latency.
+	d.note(telemetry.Left, telemetry.FullHits, 0, 0)
 	return spec.Full
 }

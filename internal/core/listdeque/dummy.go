@@ -5,6 +5,7 @@ import (
 
 	"dcasdeque/internal/arena"
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/tagptr"
 	"dcasdeque/internal/telemetry"
@@ -41,6 +42,7 @@ type DummyDeque struct {
 
 	backoff *dcas.BackoffPolicy
 	tel     *telemetry.Sink
+	lat     bool // tel non-nil with latency enabled: stamp operations
 
 	// itemLimit caps live regular nodes; the arena is sized itemLimit +
 	// dummyHeadroom so that pops can always allocate their delete-bit
@@ -74,7 +76,8 @@ func NewDummy(opts ...Option) *DummyDeque {
 	if !ok1 || !okSp || !ok2 {
 		panic("listdeque: sentinel allocation failed")
 	}
-	d := &DummyDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, tel: o.tel, itemLimit: o.maxNodes}
+	d := &DummyDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, tel: o.tel,
+		lat: o.tel != nil && o.tel.LatencyEnabled(), itemLimit: o.maxNodes}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
 	d.node(sl).val.Init(SentL)
@@ -96,10 +99,20 @@ func (d *DummyDeque) Arena() *arena.Arena[node] { return d.ar }
 // note and count are the telemetry flush helpers; see Deque.note.
 // PhysicalDeletes counts spliced-out regular nodes only — delete-bit
 // dummies are representation scaffolding, not deque items.
-func (d *DummyDeque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+// start is the operation's entry stamp (tstart), 0 when latency is off.
+func (d *DummyDeque) note(end telemetry.End, outcome telemetry.Counter, retries uint64, start int64) {
 	if d.tel != nil {
-		d.tel.Op(end, outcome, retries)
+		d.tel.OpTimed(end, outcome, retries, start)
 	}
+}
+
+// tstart stamps an operation's entry when latency recording is enabled;
+// 0 otherwise, so the disabled path never reads the clock.
+func (d *DummyDeque) tstart() int64 {
+	if d.lat {
+		return metrics.Nanotime()
+	}
+	return 0
 }
 
 func (d *DummyDeque) count(end telemetry.End, c telemetry.Counter, n uint64) {
@@ -145,6 +158,7 @@ func (d *DummyDeque) mkDummy(real tagptr.Word, right bool) (tagptr.Word, uint32,
 
 // PopRight implements Figure 11 over the dummy representation.
 func (d *DummyDeque) PopRight() (uint64, spec.Result) {
+	start := d.tstart()
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
 	var retries uint64
@@ -165,12 +179,12 @@ func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 		}
 		v := d.node(ridx).val.Load()
 		if v == SentL {
-			d.note(telemetry.Right, telemetry.EmptyHits, retries)
+			d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		if v == Null {
 			if d.prov.DCAS(srL, &d.node(ridx).val, raw, v, raw, v) { // linearization point: empty confirm
-				d.note(telemetry.Right, telemetry.EmptyHits, retries)
+				d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 				return 0, spec.Empty
 			}
 		} else {
@@ -184,7 +198,7 @@ func (d *DummyDeque) PopRight() (uint64, spec.Result) {
 				continue
 			}
 			if d.prov.DCAS(srL, &d.node(ridx).val, raw, v, dw, Null) { // linearization point: logical deletion via dummy
-				d.note(telemetry.Right, telemetry.Pops, retries)
+				d.note(telemetry.Right, telemetry.Pops, retries, start)
 				d.count(telemetry.Right, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
@@ -200,13 +214,14 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 	if v < MinUserValue {
 		panic("listdeque: value collides with a distinguished word")
 	}
+	start := d.tstart()
 	if d.ar.Live() >= d.itemLimit {
-		d.note(telemetry.Right, telemetry.FullHits, 0)
+		d.note(telemetry.Right, telemetry.FullHits, 0, start)
 		return spec.Full // leave the headroom for delete-bit dummies
 	}
 	idx, ok := d.ar.Alloc()
 	if !ok {
-		d.note(telemetry.Right, telemetry.FullHits, 0)
+		d.note(telemetry.Right, telemetry.FullHits, 0, start)
 		return spec.Full
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
@@ -225,7 +240,7 @@ func (d *DummyDeque) PushRight(v uint64) spec.Result {
 		n.l.Init(raw)
 		n.val.Init(v)
 		if d.prov.DCAS(srL, &d.node(tagptr.MustIdx(raw)).r, raw, d.srPtr, nw, nw) { // linearization point: splice
-			d.note(telemetry.Right, telemetry.Pushes, retries)
+			d.note(telemetry.Right, telemetry.Pushes, retries, start)
 			return spec.Okay
 		}
 		retries++
@@ -288,6 +303,7 @@ func (d *DummyDeque) deleteRight() {
 
 // PopLeft mirrors PopRight.
 func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
+	start := d.tstart()
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
 	var retries uint64
@@ -304,12 +320,12 @@ func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 		}
 		v := d.node(ridx).val.Load()
 		if v == SentR {
-			d.note(telemetry.Left, telemetry.EmptyHits, retries)
+			d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		if v == Null {
 			if d.prov.DCAS(slR, &d.node(ridx).val, raw, v, raw, v) { // linearization point: empty confirm
-				d.note(telemetry.Left, telemetry.EmptyHits, retries)
+				d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 				return 0, spec.Empty
 			}
 		} else {
@@ -319,7 +335,7 @@ func (d *DummyDeque) PopLeft() (uint64, spec.Result) {
 				continue
 			}
 			if d.prov.DCAS(slR, &d.node(ridx).val, raw, v, dw, Null) { // linearization point: logical deletion via dummy
-				d.note(telemetry.Left, telemetry.Pops, retries)
+				d.note(telemetry.Left, telemetry.Pops, retries, start)
 				d.count(telemetry.Left, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
@@ -335,13 +351,14 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 	if v < MinUserValue {
 		panic("listdeque: value collides with a distinguished word")
 	}
+	start := d.tstart()
 	if d.ar.Live() >= d.itemLimit {
-		d.note(telemetry.Left, telemetry.FullHits, 0)
+		d.note(telemetry.Left, telemetry.FullHits, 0, start)
 		return spec.Full // leave the headroom for delete-bit dummies
 	}
 	idx, ok := d.ar.Alloc()
 	if !ok {
-		d.note(telemetry.Left, telemetry.FullHits, 0)
+		d.note(telemetry.Left, telemetry.FullHits, 0, start)
 		return spec.Full
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
@@ -360,7 +377,7 @@ func (d *DummyDeque) PushLeft(v uint64) spec.Result {
 		n.r.Init(raw)
 		n.val.Init(v)
 		if d.prov.DCAS(slR, &d.node(tagptr.MustIdx(raw)).l, raw, d.slPtr, nw, nw) { // linearization point: splice
-			d.note(telemetry.Left, telemetry.Pushes, retries)
+			d.note(telemetry.Left, telemetry.Pushes, retries, start)
 			return spec.Okay
 		}
 		retries++

@@ -5,6 +5,7 @@ import (
 
 	"dcasdeque/internal/arena"
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/tagptr"
 	"dcasdeque/internal/telemetry"
@@ -43,6 +44,7 @@ type LFRCDeque struct {
 
 	backoff *dcas.BackoffPolicy
 	tel     *telemetry.Sink
+	lat     bool // tel non-nil with latency enabled: stamp operations
 }
 
 // rcNode is a list node with a reference count.
@@ -73,7 +75,8 @@ func NewLFRC(opts ...Option) *LFRCDeque {
 	if !ok1 || !okSp || !ok2 {
 		panic("listdeque: sentinel allocation failed")
 	}
-	d := &LFRCDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, tel: o.tel}
+	d := &LFRCDeque{prov: o.prov, ar: ar, sl: sl, sr: sr, backoff: o.backoff, tel: o.tel,
+		lat: o.tel != nil && o.tel.LatencyEnabled()}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
 	d.node(sl).val.Init(SentL)
@@ -99,10 +102,20 @@ func (d *LFRCDeque) Arena() *arena.Arena[rcNode] { return d.ar }
 // or an LFRCLoad's DCAS), every decrement, and every count reaching zero
 // (a deterministic reclamation) — making the methodology's extra
 // bookkeeping traffic observable next to the operation counts it serves.
-func (d *LFRCDeque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+// start is the operation's entry stamp (tstart), 0 when latency is off.
+func (d *LFRCDeque) note(end telemetry.End, outcome telemetry.Counter, retries uint64, start int64) {
 	if d.tel != nil {
-		d.tel.Op(end, outcome, retries)
+		d.tel.OpTimed(end, outcome, retries, start)
 	}
+}
+
+// tstart stamps an operation's entry when latency recording is enabled;
+// 0 otherwise, so the disabled path never reads the clock.
+func (d *LFRCDeque) tstart() int64 {
+	if d.lat {
+		return metrics.Nanotime()
+	}
+	return 0
 }
 
 func (d *LFRCDeque) count(end telemetry.End, c telemetry.Counter, n uint64) {
@@ -215,6 +228,7 @@ func (d *LFRCDeque) load(loc *dcas.Loc) tagptr.Word {
 
 // PopRight implements Figure 11 with LFRC bookkeeping.
 func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
+	start := d.tstart()
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
 	var retries uint64
@@ -224,7 +238,7 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 		v := ln.val.Load()
 		if v == SentL {
 			d.release(oldL)
-			d.note(telemetry.Right, telemetry.EmptyHits, retries)
+			d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldL) {
@@ -236,7 +250,7 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 			ok := d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v) // linearization point: empty confirm
 			d.release(oldL)
 			if ok {
-				d.note(telemetry.Right, telemetry.EmptyHits, retries)
+				d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 				return 0, spec.Empty
 			}
 		} else {
@@ -246,7 +260,7 @@ func (d *LFRCDeque) PopRight() (uint64, spec.Result) {
 			ok := d.prov.DCAS(srL, &ln.val, oldL, v, newL, Null) // linearization point: logical deletion
 			d.release(oldL)
 			if ok {
-				d.note(telemetry.Right, telemetry.Pops, retries)
+				d.note(telemetry.Right, telemetry.Pops, retries, start)
 				d.count(telemetry.Right, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
@@ -261,9 +275,10 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 	if v < MinUserValue {
 		panic("listdeque: value collides with a distinguished word")
 	}
+	start := d.tstart()
 	idx, ok := d.ar.Alloc()
 	if !ok {
-		d.note(telemetry.Right, telemetry.FullHits, 0)
+		d.note(telemetry.Right, telemetry.FullHits, 0, start)
 		return spec.Full
 	}
 	n := d.node(idx)
@@ -296,7 +311,7 @@ func (d *LFRCDeque) PushRight(v uint64) spec.Result {
 			// oldL (released below) while n.l holds our transferred load
 			// reference (net 0 for oldL).
 			d.release(oldL) // SR->L's dropped reference to oldL
-			d.note(telemetry.Right, telemetry.Pushes, retries)
+			d.note(telemetry.Right, telemetry.Pushes, retries, start)
 			return spec.Okay
 		}
 		// Retry: reclaim the load reference (the n.l link will be
@@ -388,6 +403,7 @@ func (d *LFRCDeque) severLink(link *dcas.Loc, target tagptr.Word, sentinelWord t
 
 // PopLeft mirrors PopRight.
 func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
+	start := d.tstart()
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
 	var retries uint64
@@ -397,7 +413,7 @@ func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 		v := rn.val.Load()
 		if v == SentR {
 			d.release(oldR)
-			d.note(telemetry.Left, telemetry.EmptyHits, retries)
+			d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldR) {
@@ -409,7 +425,7 @@ func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 			ok := d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v) // linearization point: empty confirm
 			d.release(oldR)
 			if ok {
-				d.note(telemetry.Left, telemetry.EmptyHits, retries)
+				d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 				return 0, spec.Empty
 			}
 		} else {
@@ -417,7 +433,7 @@ func (d *LFRCDeque) PopLeft() (uint64, spec.Result) {
 			ok := d.prov.DCAS(slR, &rn.val, oldR, v, newR, Null) // linearization point: logical deletion
 			d.release(oldR)
 			if ok {
-				d.note(telemetry.Left, telemetry.Pops, retries)
+				d.note(telemetry.Left, telemetry.Pops, retries, start)
 				d.count(telemetry.Left, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
@@ -432,9 +448,10 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 	if v < MinUserValue {
 		panic("listdeque: value collides with a distinguished word")
 	}
+	start := d.tstart()
 	idx, ok := d.ar.Alloc()
 	if !ok {
-		d.note(telemetry.Left, telemetry.FullHits, 0)
+		d.note(telemetry.Left, telemetry.FullHits, 0, start)
 		return spec.Full
 	}
 	n := d.node(idx)
@@ -457,7 +474,7 @@ func (d *LFRCDeque) PushLeft(v uint64) spec.Result {
 		rn := d.node(tagptr.MustIdx(oldR))
 		if d.prov.DCAS(slR, &rn.l, oldR, d.slPtr, nw, nw) { // linearization point: splice
 			d.release(oldR)
-			d.note(telemetry.Left, telemetry.Pushes, retries)
+			d.note(telemetry.Left, telemetry.Pushes, retries, start)
 			return spec.Okay
 		}
 		d.release(oldR)

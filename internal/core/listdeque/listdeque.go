@@ -38,6 +38,7 @@ package listdeque
 import (
 	"dcasdeque/internal/arena"
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/spec"
 	"dcasdeque/internal/tagptr"
 	"dcasdeque/internal/telemetry"
@@ -86,6 +87,7 @@ type Deque struct {
 	backoff     *dcas.BackoffPolicy
 	eagerDelete bool
 	tel         *telemetry.Sink
+	lat         bool // tel non-nil with latency enabled: stamp operations
 }
 
 // Option configures a Deque.
@@ -178,6 +180,7 @@ func New(opts ...Option) *Deque {
 		backoff:     o.backoff,
 		eagerDelete: o.eagerDelete,
 		tel:         o.tel,
+		lat:         o.tel != nil && o.tel.LatencyEnabled(),
 	}
 	d.slPtr = tagptr.Pack(sl, ar.Gen(sl), false)
 	d.srPtr = tagptr.Pack(sr, ar.Gen(sr), false)
@@ -209,10 +212,20 @@ func (d *Deque) Arena() *arena.Arena[node] { return d.ar }
 // per-end counter (delete-protocol events).  Both are small enough for
 // the inliner, so with no sink attached each costs one inlined nil check
 // at its call site — the disabled-telemetry contract.
-func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64) {
+// start is the operation's entry stamp (tstart), 0 when latency is off.
+func (d *Deque) note(end telemetry.End, outcome telemetry.Counter, retries uint64, start int64) {
 	if d.tel != nil {
-		d.tel.Op(end, outcome, retries)
+		d.tel.OpTimed(end, outcome, retries, start)
 	}
+}
+
+// tstart stamps an operation's entry when latency recording is enabled;
+// 0 otherwise, so the disabled path never reads the clock.
+func (d *Deque) tstart() int64 {
+	if d.lat {
+		return metrics.Nanotime()
+	}
+	return 0
 }
 
 func (d *Deque) count(end telemetry.End, c telemetry.Counter, n uint64) {
@@ -223,6 +236,7 @@ func (d *Deque) count(end telemetry.End, c telemetry.Counter, n uint64) {
 
 // PopRight implements Figure 11.
 func (d *Deque) PopRight() (uint64, spec.Result) {
+	start := d.tstart()
 	srL := &d.node(d.sr).l
 	bo := d.backoff.Start()
 	var retries uint64
@@ -231,7 +245,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 		ln := d.follow(oldL) // oldL.ptr
 		v := ln.val.Load()   // line 4: v = oldL.ptr->value
 		if v == SentL {      // line 5
-			d.note(telemetry.Right, telemetry.EmptyHits, retries)
+			d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldL) { // line 6
@@ -243,7 +257,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 			// popLeft: the deque is empty if this view is instantaneous
 			// (lines 9-11; third diagram of Figure 9).
 			if d.prov.DCAS(srL, &ln.val, oldL, v, oldL, v) { // linearization point: empty confirm (lines 9-11)
-				d.note(telemetry.Right, telemetry.EmptyHits, retries)
+				d.note(telemetry.Right, telemetry.EmptyHits, retries, start)
 				return 0, spec.Empty
 			}
 		} else {
@@ -254,7 +268,7 @@ func (d *Deque) PopRight() (uint64, spec.Result) {
 				if d.eagerDelete {
 					d.deleteRight() // footnote 6
 				}
-				d.note(telemetry.Right, telemetry.Pops, retries)
+				d.note(telemetry.Right, telemetry.Pops, retries, start)
 				d.count(telemetry.Right, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay // line 18
 			}
@@ -270,9 +284,10 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 	if v < MinUserValue {
 		panic("listdeque: value collides with a distinguished word")
 	}
+	start := d.tstart()
 	idx, ok := d.ar.Alloc() // line 2: new Node()
 	if !ok {
-		d.note(telemetry.Right, telemetry.FullHits, 0)
+		d.note(telemetry.Right, telemetry.FullHits, 0, start)
 		return spec.Full // line 3
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false) // line 4: newL.deleted = false
@@ -295,9 +310,9 @@ func (d *Deque) PushRight(v uint64) spec.Result {
 		n.val.Init(v)     // line 13
 		// Splice in: SR->L and oldL.ptr->R both become the new node
 		// (lines 14-17, Figure 14).
-		oldLR := d.srPtr // lines 14-15: expected oldL.ptr->R = (SR, false)
+		oldLR := d.srPtr                                              // lines 14-15: expected oldL.ptr->R = (SR, false)
 		if d.prov.DCAS(srL, &d.follow(oldL).r, oldL, oldLR, nw, nw) { // linearization point: splice (lines 14-17)
-			d.note(telemetry.Right, telemetry.Pushes, retries)
+			d.note(telemetry.Right, telemetry.Pushes, retries, start)
 			return spec.Okay // line 18
 		}
 		retries++
@@ -353,6 +368,7 @@ func (d *Deque) deleteRight() {
 
 // PopLeft implements Figure 32 (mirror of Figure 11).
 func (d *Deque) PopLeft() (uint64, spec.Result) {
+	start := d.tstart()
 	slR := &d.node(d.sl).r
 	bo := d.backoff.Start()
 	var retries uint64
@@ -361,7 +377,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 		rn := d.follow(oldR)
 		v := rn.val.Load()
 		if v == SentR {
-			d.note(telemetry.Left, telemetry.EmptyHits, retries)
+			d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 			return 0, spec.Empty
 		}
 		if tagptr.Deleted(oldR) {
@@ -370,7 +386,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 		}
 		if v == Null {
 			if d.prov.DCAS(slR, &rn.val, oldR, v, oldR, v) { // linearization point: empty confirm (lines 9-11)
-				d.note(telemetry.Left, telemetry.EmptyHits, retries)
+				d.note(telemetry.Left, telemetry.EmptyHits, retries, start)
 				return 0, spec.Empty
 			}
 		} else {
@@ -379,7 +395,7 @@ func (d *Deque) PopLeft() (uint64, spec.Result) {
 				if d.eagerDelete {
 					d.deleteLeft()
 				}
-				d.note(telemetry.Left, telemetry.Pops, retries)
+				d.note(telemetry.Left, telemetry.Pops, retries, start)
 				d.count(telemetry.Left, telemetry.LogicalDeletes, 1)
 				return v, spec.Okay
 			}
@@ -394,9 +410,10 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 	if v < MinUserValue {
 		panic("listdeque: value collides with a distinguished word")
 	}
+	start := d.tstart()
 	idx, ok := d.ar.Alloc()
 	if !ok {
-		d.note(telemetry.Left, telemetry.FullHits, 0)
+		d.note(telemetry.Left, telemetry.FullHits, 0, start)
 		return spec.Full
 	}
 	nw := tagptr.Pack(idx, d.ar.Gen(idx), false)
@@ -416,7 +433,7 @@ func (d *Deque) PushLeft(v uint64) spec.Result {
 		n.val.Init(v)
 		oldRL := d.slPtr
 		if d.prov.DCAS(slR, &d.follow(oldR).l, oldR, oldRL, nw, nw) { // linearization point: splice (lines 14-17)
-			d.note(telemetry.Left, telemetry.Pushes, retries)
+			d.note(telemetry.Left, telemetry.Pushes, retries, start)
 			return spec.Okay
 		}
 		retries++

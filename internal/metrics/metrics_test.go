@@ -186,6 +186,67 @@ func TestMergeEmpty(t *testing.T) {
 	}
 }
 
+func TestQuantileEdges(t *testing.T) {
+	// Empty histogram: every quantile is 0, including the clamped
+	// out-of-range arguments.
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d", q, got)
+		}
+	}
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	// Quantile(0) is the first populated bucket's upper bound — it must
+	// cover the minimum, and for min=1 (linear region, exact buckets) it
+	// is exactly bucketLow(bucketOf(1)+1) = 2.
+	if q0 := h.Quantile(0); q0 < h.Min() || q0 != bucketLow(bucketOf(1)+1) {
+		t.Fatalf("Quantile(0) = %d, min = %d", q0, h.Min())
+	}
+	// Quantile(1) bounds the maximum from above.
+	if q1 := h.Quantile(1); q1 < h.Max() {
+		t.Fatalf("Quantile(1) = %d < max %d", q1, h.Max())
+	}
+	// A single observation pins every quantile to the same bucket bound.
+	var one Histogram
+	one.Record(42)
+	if one.Quantile(0) != one.Quantile(1) {
+		t.Fatalf("single-value quantiles differ: %d vs %d", one.Quantile(0), one.Quantile(1))
+	}
+}
+
+func TestMergeSaturatedExtremes(t *testing.T) {
+	// One side saturated at the top bucket (observations near MaxUint64,
+	// where bucketLow(b+1) saturates), the other holding small values:
+	// Merge must preserve the true min from one side and the true max from
+	// the other, in both merge directions.
+	const top = ^uint64(0)
+	mk := func(vals ...uint64) *Histogram {
+		h := new(Histogram)
+		for _, v := range vals {
+			h.Record(v)
+		}
+		return h
+	}
+	small := mk(5, 10)
+	sat := mk(top, top-1)
+	small.Merge(sat)
+	if small.Min() != 5 || small.Max() != top || small.N() != 4 {
+		t.Fatalf("small∪sat: n=%d min=%d max=%d", small.N(), small.Min(), small.Max())
+	}
+	if got := small.Quantile(1); got != top {
+		t.Fatalf("merged Quantile(1) = %d, want MaxUint64", got)
+	}
+	sat2 := mk(top, top-1)
+	small2 := mk(5, 10)
+	sat2.Merge(small2)
+	if sat2.Min() != 5 || sat2.Max() != top || sat2.N() != 4 {
+		t.Fatalf("sat∪small: n=%d min=%d max=%d", sat2.N(), sat2.Min(), sat2.Max())
+	}
+}
+
 func TestRecordSince(t *testing.T) {
 	var h Histogram
 	start := time.Now()

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 )
 
 // entry is one registered component's telemetry sources: a deque's
@@ -139,6 +140,20 @@ func Handler() http.Handler {
 	})
 }
 
+// writeHistText renders one histogram summary as flat-text lines under
+// the given key prefix (values in nanoseconds, matching the JSON
+// snapshot shape).
+func writeHistText(b *strings.Builder, prefix string, h metrics.HistogramSnapshot) {
+	fmt.Fprintf(b, "%s.n %d\n", prefix, h.N)
+	fmt.Fprintf(b, "%s.sum %d\n", prefix, h.Sum)
+	fmt.Fprintf(b, "%s.min %d\n", prefix, h.Min)
+	fmt.Fprintf(b, "%s.max %d\n", prefix, h.Max)
+	fmt.Fprintf(b, "%s.p50 %d\n", prefix, h.P50)
+	fmt.Fprintf(b, "%s.p90 %d\n", prefix, h.P90)
+	fmt.Fprintf(b, "%s.p99 %d\n", prefix, h.P99)
+	fmt.Fprintf(b, "%s.p999 %d\n", prefix, h.P999)
+}
+
 // WriteText renders every registered deque's counters in Handler's flat
 // text form.
 func WriteText(b *strings.Builder) {
@@ -161,6 +176,13 @@ func WriteText(b *strings.Builder) {
 			fmt.Fprintf(b, "%s.ref.incs %d\n", n, r.Incs)
 			fmt.Fprintf(b, "%s.ref.decs %d\n", n, r.Decs)
 			fmt.Fprintf(b, "%s.ref.frees %d\n", n, r.Frees)
+			if l := e.Telemetry.Latency; l != nil {
+				for _, end := range [NumEnds]End{Left, Right} {
+					el := l.End(end)
+					writeHistText(b, fmt.Sprintf("%s.%v.lat.op", n, end), el.Op)
+					writeHistText(b, fmt.Sprintf("%s.%v.lat.spin", n, end), el.Spin)
+				}
+			}
 		}
 		if e.Sched != nil {
 			for c := SchedCounter(0); c < NumSchedCounters; c++ {
@@ -169,6 +191,11 @@ func WriteText(b *strings.Builder) {
 			for w, oc := range e.Sched.Workers {
 				for c := SchedCounter(0); c < NumSchedCounters; c++ {
 					fmt.Fprintf(b, "%s.sched.w%d.%v %d\n", n, w, c, oc.get(c))
+				}
+			}
+			if l := e.Sched.Latencies; l != nil {
+				for k := SchedLatency(0); k < NumSchedLatencies; k++ {
+					writeHistText(b, fmt.Sprintf("%s.sched.lat.%v", n, k), l.Get(k))
 				}
 			}
 		}

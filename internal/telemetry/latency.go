@@ -1,0 +1,133 @@
+package telemetry
+
+// Latency recording for the deque Sink: optional per-end histograms of
+// operation duration, recorded at the same completed-operation flush
+// sites as the counters (the cores' note helpers, which sit on the
+// return paths directly after each linearization point).
+//
+// Two histograms per end:
+//
+//   - op: the duration of every completed operation, entry to return —
+//     the end-to-end latency a caller observes, including the DCAS
+//     emulation and any backoff waits.
+//   - spin: the duration of completed operations that lost at least one
+//     race (retries > 0).  Isolating the contended subpopulation is
+//     what makes a retry storm legible as a latency number: the spin
+//     histogram's quantiles are the tail the uncontended mass of op
+//     would otherwise bury.
+//
+// The recording discipline extends the counter contract unchanged:
+// disabled (no EnableLatency) the cores stamp nothing — tstart returns
+// 0 and the flush sees start == 0, so the cost is the one branch the
+// nil-check contract already pays; enabled, each operation pays two
+// monotonic clock reads (metrics.Nanotime, ~25ns each) plus one or two
+// sharded histogram records.  That enabled cost is real and documented
+// (EXPERIMENTS.md PR9); it buys the p99s the offline bench harness
+// cannot see in production.
+
+import (
+	"runtime"
+
+	"dcasdeque/internal/metrics"
+)
+
+// latBank is a Sink's latency histograms; nil means latency recording
+// is disabled (the default).
+type latBank struct {
+	op   [NumEnds]*metrics.ShardedHistogram
+	spin [NumEnds]*metrics.ShardedHistogram
+}
+
+// EnableLatency attaches per-end operation-latency and retry-spin
+// histograms to the sink and returns it.  Call before the sink is
+// shared with recording goroutines (the constructors do); enabling is
+// not synchronized against concurrent Op calls.  Idempotent.
+func (s *Sink) EnableLatency() *Sink {
+	if s.lat == nil {
+		lb := new(latBank)
+		n := runtime.GOMAXPROCS(0)
+		for e := range lb.op {
+			lb.op[e] = metrics.NewShardedHistogram(n)
+			lb.spin[e] = metrics.NewShardedHistogram(n)
+		}
+		s.lat = lb
+	}
+	return s
+}
+
+// LatencyEnabled reports whether EnableLatency was called; the cores
+// read it once at construction to decide whether to stamp operations.
+func (s *Sink) LatencyEnabled() bool { return s.lat != nil }
+
+// OpTimed is Op plus the latency flush: start is the operation's
+// metrics.Nanotime entry stamp, or 0 when the core has latency
+// disabled (then OpTimed is exactly Op).  Kept out of line for the same
+// inlining-budget reason as Op: the cores' per-return-site helpers must
+// stay one inlined nil check.
+//
+//go:noinline
+func (s *Sink) OpTimed(end End, outcome Counter, retries uint64, start int64) {
+	b := s.shard().end(end)
+	b.c[outcome].Add(1)
+	if retries != 0 {
+		b.c[Retries].Add(retries)
+	}
+	if start != 0 && s.lat != nil {
+		s.recordLatency(end, retries, start)
+	}
+}
+
+// Latency records an operation's duration without moving counters: the
+// flush for paths that count through Add (the Chase–Lev batch steal,
+// whose k pops are one commit).  start == 0 (latency disabled at the
+// core) and a nil bank are both no-ops.
+//
+//go:noinline
+func (s *Sink) Latency(end End, retries uint64, start int64) {
+	if start != 0 && s.lat != nil {
+		s.recordLatency(end, retries, start)
+	}
+}
+
+func (s *Sink) recordLatency(end End, retries uint64, start int64) {
+	el := uint64(metrics.Nanotime() - start)
+	s.lat.op[end].Record(el)
+	if retries != 0 {
+		s.lat.spin[end].Record(el)
+	}
+}
+
+// EndLatency is one end's latency summaries.
+type EndLatency struct {
+	// Op is the duration distribution of every completed operation.
+	Op metrics.HistogramSnapshot `json:"op"`
+	// Spin is the duration distribution of the contended subpopulation:
+	// completed operations that retried at least once.
+	Spin metrics.HistogramSnapshot `json:"spin"`
+}
+
+// LatencySnapshot is a point-in-time read of a sink's latency
+// histograms; present in Snapshot only when EnableLatency was called.
+type LatencySnapshot struct {
+	Left  EndLatency `json:"left"`
+	Right EndLatency `json:"right"`
+}
+
+// End selects one end's latency summaries.
+func (l *LatencySnapshot) End(e End) EndLatency {
+	if e == Left {
+		return l.Left
+	}
+	return l.Right
+}
+
+// latencySnapshot merges the bank; nil when disabled.
+func (s *Sink) latencySnapshot() *LatencySnapshot {
+	if s.lat == nil {
+		return nil
+	}
+	return &LatencySnapshot{
+		Left:  EndLatency{Op: s.lat.op[Left].Snapshot(), Spin: s.lat.spin[Left].Snapshot()},
+		Right: EndLatency{Op: s.lat.op[Right].Snapshot(), Spin: s.lat.spin[Right].Snapshot()},
+	}
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+// The Prometheus text-exposition exporter: the same registry the expvar
+// and flat-text paths read, rendered in the Prometheus 0.0.4 text
+// format so a scrape target needs nothing beyond net/http.  Counters
+// become *_total families labelled by deque and end; the latency
+// histograms become native Prometheus histograms (cumulative
+// `le`-bucketed counts in seconds) plus quantile gauges, so both
+// histogram_quantile over buckets and the pre-computed p99s are
+// available to dashboards.
+//
+// Bucket exposition collapses the 8 log-linear sub-buckets per
+// power-of-two exponent into one `le` bound: Prometheus stores every
+// series a scrape exposes, and 512 buckets per histogram × 4 histograms
+// per deque is cardinality no scrape config would thank us for.  The
+// collapse only widens buckets (relative error 100% at the exponent
+// scale instead of 12.5%); the flat-text/JSON quantiles keep the full
+// resolution.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"dcasdeque/internal/metrics"
+)
+
+// PrometheusHandler returns an http.Handler serving every registered
+// deque's and scheduler's telemetry in the Prometheus text exposition
+// format.  Mount it wherever the scrape config points (conventionally
+// /metrics).
+func PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		WritePrometheus(&b)
+		_, _ = fmt.Fprint(w, b.String())
+	})
+}
+
+// promFamily accumulates one metric family's samples so the exposition
+// can group them under a single HELP/TYPE header, as the format
+// requires.
+type promFamily struct {
+	name, help, typ string
+	samples         []string
+}
+
+func (f *promFamily) addf(format string, args ...any) {
+	f.samples = append(f.samples, fmt.Sprintf(format, args...))
+}
+
+// WritePrometheus renders the full exposition into b.
+func WritePrometheus(b *strings.Builder) {
+	all := snapshotAll()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	ops := &promFamily{name: "dcasdeque_ops_total",
+		help: "Completed deque operations by end and outcome class.", typ: "counter"}
+	ref := &promFamily{name: "dcasdeque_ref_total",
+		help: "LFRC reference-count transfer events.", typ: "counter"}
+	dcasF := &promFamily{name: "dcasdeque_dcas_total",
+		help: "DCAS emulation events (instrumented providers only).", typ: "counter"}
+	opLat := &promFamily{name: "dcasdeque_op_latency_seconds",
+		help: "Deque operation latency by end (entry to linearized return).", typ: "histogram"}
+	spinLat := &promFamily{name: "dcasdeque_op_spin_latency_seconds",
+		help: "Latency of contended deque operations (>=1 retry) by end.", typ: "histogram"}
+	opQ := &promFamily{name: "dcasdeque_op_latency_quantile_seconds",
+		help: "Pre-computed deque operation latency quantiles.", typ: "gauge"}
+	schedF := &promFamily{name: "dcasdeque_sched_events_total",
+		help: "Scheduler lifecycle events, summed over workers.", typ: "counter"}
+	schedLat := &promFamily{name: "dcasdeque_sched_latency_seconds",
+		help: "Scheduler task-lifecycle latencies (submit->run, steal->run, park->wake).", typ: "histogram"}
+	schedQ := &promFamily{name: "dcasdeque_sched_latency_quantile_seconds",
+		help: "Pre-computed scheduler lifecycle latency quantiles.", typ: "gauge"}
+
+	for _, n := range names {
+		e := all[n]
+		if e.Telemetry != nil {
+			for _, end := range [NumEnds]End{Left, Right} {
+				oc := e.Telemetry.End(end)
+				for c := Counter(0); c < NumCounters; c++ {
+					ops.addf("%s{deque=%q,end=%q,counter=%q} %d",
+						ops.name, n, end.String(), c.String(), oc.get(c))
+				}
+			}
+			r := e.Telemetry.Ref
+			ref.addf("%s{deque=%q,event=\"incs\"} %d", ref.name, n, r.Incs)
+			ref.addf("%s{deque=%q,event=\"decs\"} %d", ref.name, n, r.Decs)
+			ref.addf("%s{deque=%q,event=\"frees\"} %d", ref.name, n, r.Frees)
+			if l := e.Telemetry.Latency; l != nil {
+				for _, end := range [NumEnds]End{Left, Right} {
+					el := l.End(end)
+					labels := fmt.Sprintf("deque=%q,end=%q", n, end.String())
+					promHistogram(opLat, labels, el.Op)
+					promHistogram(spinLat, labels, el.Spin)
+					promQuantiles(opQ, labels, el.Op)
+				}
+			}
+		}
+		if e.DCAS != nil {
+			d := e.DCAS
+			for _, s := range []struct {
+				ev string
+				v  uint64
+			}{
+				{"attempts", d.Attempts}, {"failures", d.Failures}, {"successes", d.Successes},
+				{"backoff_spins", d.BackoffSpins}, {"backoff_yields", d.BackoffYields},
+			} {
+				dcasF.addf("%s{deque=%q,event=%q} %d", dcasF.name, n, s.ev, s.v)
+			}
+		}
+		if e.Sched != nil {
+			for c := SchedCounter(0); c < NumSchedCounters; c++ {
+				schedF.addf("%s{sched=%q,event=%q} %d", schedF.name, n, c.String(), e.Sched.Total.get(c))
+			}
+			if l := e.Sched.Latencies; l != nil {
+				for k := SchedLatency(0); k < NumSchedLatencies; k++ {
+					labels := fmt.Sprintf("sched=%q,kind=%q", n, k.String())
+					promHistogram(schedLat, labels, l.Get(k))
+					promQuantiles(schedQ, labels, l.Get(k))
+				}
+			}
+		}
+	}
+
+	for _, f := range []*promFamily{ops, ref, dcasF, opLat, spinLat, opQ, schedF, schedLat, schedQ} {
+		if len(f.samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// promHistogram renders one snapshot as a Prometheus histogram:
+// cumulative bucket counts with `le` bounds in seconds, collapsing the
+// log-linear sub-buckets to one bound per power-of-two exponent (see
+// the package comment), then _sum and _count.
+func promHistogram(f *promFamily, labels string, h metrics.HistogramSnapshot) {
+	// Fold the fine buckets by upper bound exponent: each snapshot
+	// bucket's High is its exclusive upper bound in ns; group counts by
+	// the next power of two at or above High.
+	type bound struct {
+		le    float64
+		count uint64
+	}
+	var bounds []bound
+	for _, bk := range h.Buckets {
+		le := float64(ceilPow2(bk.High)) / 1e9
+		if len(bounds) > 0 && bounds[len(bounds)-1].le == le {
+			bounds[len(bounds)-1].count += bk.Count
+		} else {
+			bounds = append(bounds, bound{le: le, count: bk.Count})
+		}
+	}
+	var cum uint64
+	for _, bd := range bounds {
+		cum += bd.count
+		f.addf("%s_bucket{%s,le=%q} %d", f.name, labels, formatLe(bd.le), cum)
+	}
+	f.addf("%s_bucket{%s,le=\"+Inf\"} %d", f.name, labels, h.N)
+	f.addf("%s_sum{%s} %g", f.name, labels, float64(h.Sum)/1e9)
+	f.addf("%s_count{%s} %d", f.name, labels, h.N)
+}
+
+// promQuantiles renders the snapshot's pre-computed quantiles (and max)
+// as gauges labelled by quantile, in seconds.
+func promQuantiles(f *promFamily, labels string, h metrics.HistogramSnapshot) {
+	for _, q := range []struct {
+		q string
+		v uint64
+	}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}, {"0.999", h.P999}, {"1", h.Max}} {
+		f.addf("%s{%s,quantile=%q} %g", f.name, labels, q.q, float64(q.v)/1e9)
+	}
+}
+
+// ceilPow2 rounds up to the next power of two (saturating at the bucket
+// ceiling ^uint64(0), which bucketLow uses for the top bucket's High).
+func ceilPow2(v uint64) uint64 {
+	if v == ^uint64(0) {
+		return v
+	}
+	p := uint64(1)
+	for p < v && p < 1<<63 {
+		p <<= 1
+	}
+	return p
+}
+
+// formatLe renders a bucket bound compactly (%g keeps 1.024e-05-style
+// bounds stable across runs, which scrape diffing wants).
+func formatLe(le float64) string {
+	return fmt.Sprintf("%g", le)
+}

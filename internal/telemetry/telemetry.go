@@ -163,6 +163,7 @@ func (sh *shard) end(e End) *endBlock {
 type Sink struct {
 	shards []shard
 	mask   uint32
+	lat    *latBank // nil unless EnableLatency was called (latency.go)
 }
 
 // sinkShards returns the shard count: enough stripes that GOMAXPROCS
@@ -285,6 +286,9 @@ type Snapshot struct {
 	Left  OpCounts  `json:"left"`
 	Right OpCounts  `json:"right"`
 	Ref   RefCounts `json:"ref"`
+	// Latency carries the duration histograms; nil unless the sink was
+	// built with EnableLatency.
+	Latency *LatencySnapshot `json:"latency,omitempty"`
 }
 
 // End selects a snapshot's counters for one end.
@@ -306,6 +310,7 @@ func (s *Sink) Snapshot() Snapshot {
 		sn.Ref.Decs += sh.ref.decs.Load()
 		sn.Ref.Frees += sh.ref.frees.Load()
 	}
+	sn.Latency = s.latencySnapshot()
 	return sn
 }
 
@@ -332,5 +337,11 @@ func (s *Sink) Reset() {
 		sh.ref.incs.Store(0)
 		sh.ref.decs.Store(0)
 		sh.ref.frees.Store(0)
+	}
+	if s.lat != nil {
+		for e := range s.lat.op {
+			s.lat.op[e].Reset()
+			s.lat.spin[e].Reset()
+		}
 	}
 }

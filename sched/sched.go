@@ -51,6 +51,7 @@ import (
 
 	"dcasdeque/deque"
 	"dcasdeque/internal/dcas"
+	"dcasdeque/internal/metrics"
 	"dcasdeque/internal/telemetry"
 )
 
@@ -82,6 +83,8 @@ type config struct {
 	spinRounds    int
 	telemetry     bool
 	telemetryName string
+	latency       bool
+	tracing       bool
 }
 
 func defaultConfig() config {
@@ -223,11 +226,13 @@ type Scheduler struct {
 	workers  []*Worker
 	injector deque.Deque[Task]
 	sizes    []paddedCount // sizes[i] ≈ len(worker i's deque), for victim selection
-	injSize atomic.Int64 // ≈ len(injector)
+	injSize  atomic.Int64  // ≈ len(injector)
 	//dequevet:packed pending:63 drain:1
-	life atomic.Uint64
+	life     atomic.Uint64
 	idle     idleStack
 	sink     *telemetry.SchedSink
+	lat      bool // sink non-nil with latency enabled: stamp lifecycles
+	tracing  bool // WithTracing: emit runtime/trace tasks and regions
 	unreg    func()
 	wg       sync.WaitGroup
 	done     chan struct{} // closed when every worker has exited
@@ -262,10 +267,15 @@ func New(opts ...Option) *Scheduler {
 	}
 	if cfg.telemetry {
 		s.sink = telemetry.NewSchedSink(cfg.workers)
+		if cfg.latency {
+			s.sink.EnableLatency()
+			s.lat = true
+		}
 		if cfg.telemetryName != "" {
 			s.unreg = telemetry.RegisterSched(cfg.telemetryName, s.sink)
 		}
 	}
+	s.tracing = cfg.tracing
 	s.idle.init(cfg.workers)
 	s.workers = make([]*Worker, cfg.workers)
 	for i := range s.workers {
@@ -332,6 +342,7 @@ func (s *Scheduler) TrySubmit(t Task) error {
 	if !s.acquire() {
 		return ErrShutdown
 	}
+	t = s.stamp(t, telemetry.SchedSubmitRun)
 	if err := s.injector.PushRight(t); err != nil {
 		// Any push failure is backpressure: ErrFull from the bounded
 		// array, or ErrMemoryBound from a memory-bounded injector
@@ -461,7 +472,21 @@ func (s *Scheduler) Stats() (Stats, bool) {
 	for i, c := range sn.Workers {
 		st.Workers[i] = WorkerCounts(c)
 	}
+	if l := sn.Latencies; l != nil {
+		st.Latencies = &Latencies{
+			SubmitRun: histStats(l.SubmitRun),
+			StealRun:  histStats(l.StealRun),
+			ParkWake:  histStats(l.ParkWake),
+		}
+	}
 	return st, true
+}
+
+func histStats(h metrics.HistogramSnapshot) deque.HistogramStats {
+	return deque.HistogramStats{
+		N: h.N, Sum: h.Sum, Min: h.Min, Max: h.Max,
+		P50: h.P50, P90: h.P90, P99: h.P99, P999: h.P999,
+	}
 }
 
 // WorkerCounts is one worker's counters (External: events raised
@@ -477,9 +502,21 @@ type WorkerCounts struct {
 	Wakes      uint64
 }
 
+// Latencies are the scheduler's task-lifecycle latency summaries
+// (nanoseconds): how long tasks waited between submit/spawn and first
+// run, between steal transfer and run, and how long workers slept
+// between park and wake.
+type Latencies struct {
+	SubmitRun deque.HistogramStats
+	StealRun  deque.HistogramStats
+	ParkWake  deque.HistogramStats
+}
+
 // Stats is a point-in-time scheduler telemetry snapshot.
 type Stats struct {
 	Workers  []WorkerCounts
 	External WorkerCounts
 	Total    WorkerCounts
+	// Latencies is present only for schedulers built with WithLatency.
+	Latencies *Latencies
 }

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"os"
+	"runtime/trace"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLatencyStats: WithLatency surfaces lifecycle histograms through
+// Stats, with submit→run covering every submitted and spawned task.
+func TestLatencyStats(t *testing.T) {
+	s := New(WithWorkers(4), WithLatency())
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(n)
+	var spawned atomic.Uint64
+	for i := 0; i < n; i++ {
+		if err := s.Submit(func(w *Worker) {
+			defer wg.Done()
+			if spawned.Add(1) <= 50 {
+				wg.Add(1)
+				w.Spawn(func(*Worker) { wg.Done() })
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	shutdownOK(t, s)
+	st, ok := s.Stats()
+	if !ok {
+		t.Fatal("WithLatency implies telemetry but Stats not ok")
+	}
+	l := st.Latencies
+	if l == nil {
+		t.Fatal("Stats.Latencies nil with WithLatency")
+	}
+	// Every submitted and spawned task was stamped; a task may be stamped
+	// again when stolen, so submit→run records at least one sample per
+	// task (n submits + 50 spawns).
+	if l.SubmitRun.N < n+50 {
+		t.Fatalf("submit_run samples = %d, want ≥ %d", l.SubmitRun.N, n+50)
+	}
+	if l.SubmitRun.Max < l.SubmitRun.Min || l.SubmitRun.Sum == 0 {
+		t.Fatalf("degenerate submit_run histogram: %+v", l.SubmitRun)
+	}
+	if l.SubmitRun.P50 == 0 || l.SubmitRun.P999 < l.SubmitRun.P50 {
+		t.Fatalf("submit_run quantiles: %+v", l.SubmitRun)
+	}
+	// Steal and park samples depend on scheduling luck; the structural
+	// contract is consistency, not presence.
+	if l.StealRun.N > 0 && st.Total.Stolen == 0 {
+		t.Fatal("steal_run samples without recorded steals")
+	}
+	if l.ParkWake.N > 0 && st.Total.Parks == 0 {
+		t.Fatal("park_wake samples without recorded parks")
+	}
+}
+
+// TestLatencyAbsentWithoutOption: plain WithTelemetry keeps the latency
+// surface off.
+func TestLatencyAbsentWithoutOption(t *testing.T) {
+	s := New(WithWorkers(2), WithTelemetry())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := s.Submit(func(*Worker) { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	shutdownOK(t, s)
+	st, _ := s.Stats()
+	if st.Latencies != nil {
+		t.Fatal("Stats.Latencies present without WithLatency")
+	}
+}
+
+// TestParkWakeRecorded forces a park (idle scheduler, then late work)
+// and checks the park→wake interval lands in the histogram.
+func TestParkWakeRecorded(t *testing.T) {
+	s := New(WithWorkers(2), WithLatency(), WithSpinRounds(1))
+	// Let the workers go idle and park.
+	var warm sync.WaitGroup
+	warm.Add(1)
+	if err := s.Submit(func(*Worker) { warm.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	warm.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := s.Stats()
+		if st.Total.Parks > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Skip("workers never parked; nothing to measure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Waking them — by submitting — records park→wake for each released
+	// worker.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := s.Submit(func(*Worker) { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	shutdownOK(t, s) // the final drain broadcast wakes any remaining parkers
+	st, _ := s.Stats()
+	if st.Latencies == nil || st.Latencies.ParkWake.N == 0 {
+		t.Fatalf("no park_wake samples after forced park/wake: %+v", st.Latencies)
+	}
+}
+
+// TestTracingSmoke runs a fork-join workload under WithTracing with a
+// live trace collector: the annotations must not corrupt the trace
+// (trace.Stop flushes and validates buffers) or perturb execution.
+func TestTracingSmoke(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "sched-trace-*.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Start(f); err != nil {
+		t.Skipf("trace.Start: %v (already tracing?)", err)
+	}
+	s := New(WithWorkers(4), WithLatency(), WithTracing())
+	var wg sync.WaitGroup
+	var ran, forks atomic.Int64
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		if err := s.Submit(func(w *Worker) {
+			defer wg.Done()
+			ran.Add(1)
+			if forks.Add(1) <= 20 {
+				wg.Add(1)
+				w.Spawn(func(*Worker) { ran.Add(1); wg.Done() })
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	shutdownOK(t, s)
+	trace.Stop()
+	if got := ran.Load(); got != 220 {
+		t.Fatalf("ran %d tasks, want 220", got)
+	}
+	fi, err := os.Stat(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("trace file empty: annotations emitted nothing")
+	}
+}
+
+// TestTracingDisabledNoWrap: without WithLatency and with no active
+// trace, stamp must return the task untouched — the zero-overhead
+// contract the hot path depends on.
+func TestTracingDisabledNoWrap(t *testing.T) {
+	if trace.IsEnabled() {
+		t.Skip("a trace is active; the wrap is supposed to engage")
+	}
+	s := New(WithWorkers(1), WithTracing())
+	defer shutdownOK(t, s)
+	called := false
+	task := Task(func(*Worker) { called = true })
+	got := s.stamp(task, 0)
+	// Function values are not comparable, but an unwrapped return invokes
+	// the original directly; a wrapped one would too — so compare the
+	// one observable difference: stamp with nothing enabled must not
+	// allocate a closure.  AllocsPerRun isolates that.
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = s.stamp(task, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("stamp allocates %v per call with everything disabled", allocs)
+	}
+	got(nil)
+	if !called {
+		t.Fatal("stamped task did not run the original")
+	}
+}

@@ -54,6 +54,7 @@ func (w *Worker) Spawn(t Task) {
 	s := w.s
 	s.life.Add(1)
 	s.note(w.id, telemetry.SchedSpawns)
+	t = s.stamp(t, telemetry.SchedSubmitRun)
 	if err := w.dq.PushRight(t); err == nil {
 		w.size().Add(1) //dequevet:publish recheck=wakeOne advertise before a parker can miss the size
 		s.wakeOne(w.id)
@@ -172,6 +173,9 @@ func (w *Worker) steal() (Task, bool) {
 	if n == 1 {
 		return nil, false
 	}
+	if reg := s.region("sched.steal"); reg != nil {
+		defer reg.End()
+	}
 	// 2n samples ≈ every victim twice in expectation: enough that an
 	// empty-handed return means the system really did look idle.
 	for attempt := 0; attempt < 2*n; attempt++ {
@@ -186,6 +190,7 @@ func (w *Worker) steal() (Task, bool) {
 		s.sizes[v].v.Add(-int64(len(got)))
 		s.note(w.id, telemetry.SchedSteals)
 		s.noteN(w.id, telemetry.SchedStolen, uint64(len(got)))
+		s.stampBatch(got, telemetry.SchedStealRun)
 		w.keep(got[1:])
 		return got[0], true
 	}
@@ -228,5 +233,5 @@ func (w *Worker) park() {
 		s.wakeOne(w.id)
 	}
 	s.note(w.id, telemetry.SchedParks)
-	<-w.wake
+	w.parkWait()
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race check vet-fixtures sched-stress sched-bench chaselev-bench latobs-bench soak-smoke soak
+.PHONY: all build lint test race check vet-fixtures sched-stress sched-bench chaselev-bench latobs-bench soak-smoke soak serve-smoke serve-stress serve-bench
 
 all: check
 
@@ -64,5 +64,33 @@ soak-smoke:
 soak:
 	$(GO) run ./cmd/dequesoak -d 1h
 	$(GO) run ./cmd/dequesoak -certify-leak -d 30s
+
+# Serve smoke (CI-mirrored): dequeserve + dequeload race-instrumented,
+# SIGTERM delivered mid-load; dequeserve exits nonzero if the drain
+# violates the admission conservation laws.
+serve-smoke:
+	$(GO) build -race -o /tmp/dequeserve ./cmd/dequeserve
+	$(GO) build -race -o /tmp/dequeload ./cmd/dequeload
+	rm -f /tmp/serve.addr; \
+	/tmp/dequeserve -listen 127.0.0.1:0 -addr-file /tmp/serve.addr -drain 10s & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 100); do [ -s /tmp/serve.addr ] && break; sleep 0.1; done; \
+	/tmp/dequeload -url "http://$$(cat /tmp/serve.addr)/jobs" -mode open -rate 300 \
+	  -duration 6s -kind fib -n 25 -verify -tenants free:1,gold:3 & \
+	LOAD_PID=$$!; \
+	sleep 3; kill -TERM $$SERVE_PID; \
+	wait $$LOAD_PID || true; wait $$SERVE_PID
+
+# Randomized serve fault certification (CI runs 200 race-instrumented;
+# the full certificate is -serve-runs 1000, also embedded in the
+# dequebench serve report).
+serve-stress:
+	$(GO) run -race ./cmd/dequestress -serve -serve-runs 200
+
+# Serving benchmark: closed-loop capacity calibration, open-loop sweep
+# at 0.5C/0.9C/1.5C per backend, and the fault certificate, written to
+# BENCH_SERVE.json (EXPERIMENTS.md SERVE).
+serve-bench:
+	$(GO) run ./cmd/dequebench -exp serve -serve-duration 2s -serve-cert 1000 -json BENCH_SERVE.json
 
 check: build lint test race

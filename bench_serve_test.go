@@ -1,0 +1,57 @@
+// Serving-layer benchmark: the ingest hot path priced against bare
+// scheduler submission.  BenchmarkServeIngest/direct is one
+// submit→run→signal round trip on the scheduler; /http is the same job
+// through the full serving pipeline — JSON decode, admission CAS,
+// tenant-queue push, pump hand-off, execution, and the JSON response.
+// The ratio is the cost of the serving layer itself, and benchguard's
+// head gate (ci.yml) holds it to a budget so admission-path regressions
+// surface as CI failures rather than tail latency in production.
+package dcasdeque_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"dcasdeque/sched"
+	"dcasdeque/serve"
+)
+
+func BenchmarkServeIngest(b *testing.B) {
+	b.Run("direct", func(b *testing.B) {
+		s := sched.New(sched.WithChaseLev())
+		defer func() {
+			if err := s.Shutdown(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		done := make(chan struct{}, 1)
+		task := sched.Task(func(*sched.Worker) { done <- struct{}{} })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Submit(task); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		s := serve.New(serve.WithSchedOptions(sched.WithChaseLev()))
+		defer func() {
+			if err := s.Shutdown(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		body := []byte(`{"kind":"echo","data":"x"}`)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/jobs", bytes.NewReader(body))
+			rr := httptest.NewRecorder()
+			s.ServeHTTP(rr, req)
+			if rr.Code != 200 {
+				b.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+			}
+		}
+	})
+}

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	dequebench [-exp all|b1|b2|b3|b4|b6|b7|b8|lat|contend|telem|sched|latobs] [-ops N]
+//	dequebench [-exp all|b1|b2|b3|b4|b6|b7|b8|lat|contend|telem|sched|latobs|serve] [-ops N]
 //	           [-workers list] [-csv] [-json path] [-cpuprofile path]
+//	           [-serve-duration 2s] [-serve-cert 1000]
 package main
 
 import (
@@ -30,11 +31,11 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment to run: all, b1, b2, b3, b4, b6, b7, b8, lat, contend, telem, sched, latobs")
+	expFlag     = flag.String("exp", "all", "experiment to run: all, b1, b2, b3, b4, b6, b7, b8, lat, contend, telem, sched, latobs, serve")
 	opsFlag     = flag.Int("ops", 200000, "operations per worker per measurement")
 	workersFlag = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	jsonFlag    = flag.String("json", "", "write the contend/telem/sched/latobs experiment's results as JSON to this file")
+	jsonFlag    = flag.String("json", "", "write the contend/telem/sched/latobs/serve experiment's results as JSON to this file")
 	profFlag    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 )
 
@@ -68,7 +69,7 @@ func run() int {
 		"b1": expB1, "b2": expB2, "b3": expB3, "b4": expB4,
 		"b6": expB6, "b7": expB7, "b8": expB8, "lat": expLat,
 		"contend": expContend, "telem": expTelem, "sched": expSched,
-		"latobs": expLatobs,
+		"latobs": expLatobs, "serve": expServe,
 	}
 	out := io{csv: *csvFlag}
 	if *expFlag == "all" {

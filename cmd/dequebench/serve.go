@@ -1,0 +1,275 @@
+package main
+
+// The SERVE experiment: the job service measured as a server, over real
+// HTTP on a loopback listener.  Three parts per backend:
+//
+//  1. Calibration — a closed loop finds the sustainable capacity C
+//     (clients back to back, throughput self-limits to what the server
+//     completes).
+//  2. Open-loop sweep — offered load at 0.5C, 0.9C and 1.5C on a fixed
+//     arrival schedule.  The overload point is the experiment's thesis:
+//     a bounded-admission server answers with nonzero 429s and *bounded*
+//     completion latency, where an unbounded-queue server would show
+//     latency growing with the backlog.
+//  3. Fault certification — the serve/stress harness re-runs its
+//     randomized lifetimes (mid-load SIGTERM-equivalent drains, tenant
+//     bursts, abandoning readers) and the report records the
+//     exactly-once / zero-lost-response / conservation certificate.
+//
+// dequebench -exp serve [-serve-duration 2s] [-serve-cert 1000] [-json BENCH_SERVE.json]
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"dcasdeque/internal/loadgen"
+	"dcasdeque/internal/metrics"
+	"dcasdeque/sched"
+	"dcasdeque/serve"
+	servestress "dcasdeque/serve/stress"
+)
+
+var (
+	serveDurFlag  = flag.Duration("serve-duration", 2*time.Second, "serve experiment: load duration per sweep level")
+	serveCertFlag = flag.Int("serve-cert", 1000, "serve experiment: randomized fault-certification runs")
+)
+
+const (
+	// serveSpinN sets the job grain to a few hundred µs of CPU: heavy
+	// enough that the scheduler — not the HTTP stack — is the
+	// bottleneck, so the sweep measures admission behaviour rather than
+	// connection handling.
+	serveSpinN    = 200_000
+	serveQueueCap = 256 // per-tenant queue depth — the 429 threshold
+)
+
+// serveCell is one (backend, offered-level) open-loop measurement.
+type serveCell struct {
+	Backend    string  `json:"backend"`
+	Level      string  `json:"level"` // fraction of calibrated capacity
+	OfferedRPS float64 `json:"offered_rps"`
+	OkRPS      float64 `json:"ok_rps"`
+	Sent       uint64  `json:"sent"`
+	OK         uint64  `json:"ok"`
+	Busy       uint64  `json:"busy_429"`
+	Drain      uint64  `json:"drain_503"`
+	Errors     uint64  `json:"errors"`
+	Shed       uint64  `json:"shed"`
+	P50Ns      uint64  `json:"p50_ns"`
+	P99Ns      uint64  `json:"p99_ns"`
+	P999Ns     uint64  `json:"p999_ns"`
+	MaxNs      uint64  `json:"max_ns"`
+}
+
+// serveCapacity is one backend's closed-loop calibration.
+type serveCapacity struct {
+	Backend     string  `json:"backend"`
+	CapacityRPS float64 `json:"capacity_rps"`
+	Concurrency int     `json:"concurrency"`
+	P99Ns       uint64  `json:"p99_ns"`
+}
+
+// serveFault is the fault-certification tally.
+type serveFault struct {
+	Runs      int    `json:"runs"`
+	Requests  uint64 `json:"requests"`
+	Completed uint64 `json:"completed"`
+	Busy      uint64 `json:"busy_429"`
+	Drain     uint64 `json:"drain_503"`
+	Killed    int    `json:"killed_deadlines"`
+	Certified bool   `json:"certified"` // exactly-once + zero-lost-response + conservation
+}
+
+// serveReport is the machine-readable result written by -json
+// (BENCH_SERVE.json, committed and uploaded by CI).
+type serveReport struct {
+	Experiment string `json:"experiment"`
+	Command    string `json:"command"`
+	Config     struct {
+		JobKind       string    `json:"job_kind"`
+		JobN          int       `json:"job_n"`
+		QueueCap      int       `json:"queue_cap"`
+		Workers       int       `json:"workers"`
+		LevelDuration float64   `json:"level_duration_sec"`
+		Levels        []float64 `json:"levels"`
+	} `json:"config"`
+	Env struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"env"`
+	Capacity []serveCapacity `json:"capacity"`
+	Sweep    []serveCell     `json:"sweep"`
+	Fault    serveFault      `json:"fault"`
+}
+
+// serveBackends are the deque backends the sweep races.
+var serveBackends = []struct {
+	name string
+	opt  sched.Option
+}{
+	{"chaselev", sched.WithChaseLev()},
+	{"array", sched.WithArrayDeques()},
+}
+
+// startServeBackend boots a server on a loopback listener and returns
+// its job URL and a stop function that drains it.
+func startServeBackend(opt sched.Option) (string, func() error, error) {
+	// The injector is kept small (64) so sustained overload backs up out
+	// of the scheduler into the tenant queue — with the 1024-slot
+	// default, the injector alone could swallow the whole in-flight
+	// window and the 429 path would never engage.
+	s := serve.New(
+		serve.WithTenants(serve.TenantConfig{Name: "default", Weight: 1, QueueCap: serveQueueCap}),
+		serve.WithSchedOptions(opt, sched.WithInjectorCapacity(64)),
+	)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Mux()}
+	go func() { _ = hs.Serve(ln) }()
+	url := fmt.Sprintf("http://%s/jobs", ln.Addr().String())
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		err := s.Shutdown(ctx)
+		_ = hs.Close()
+		if err != nil {
+			return err
+		}
+		if ok, tenant := s.Stats().Conserved(); !ok {
+			return fmt.Errorf("conservation violated (tenant %q)", tenant)
+		}
+		return nil
+	}
+	return url, stop, nil
+}
+
+// expServe runs the serving experiment and emits the sweep tables.
+func expServe(o io, _ int, _ []int) {
+	rep := serveReport{Experiment: "serve"}
+	rep.Command = fmt.Sprintf("dequebench -exp serve -serve-duration %v -serve-cert %d",
+		*serveDurFlag, *serveCertFlag)
+	rep.Config.JobKind = "spin"
+	rep.Config.JobN = serveSpinN
+	rep.Config.QueueCap = serveQueueCap
+	rep.Config.Workers = runtime.GOMAXPROCS(0)
+	rep.Config.LevelDuration = serveDurFlag.Seconds()
+	rep.Config.Levels = []float64{0.5, 0.9, 1.5}
+	rep.Env.GoVersion = runtime.Version()
+	rep.Env.GOOS = runtime.GOOS
+	rep.Env.GOARCH = runtime.GOARCH
+	rep.Env.NumCPU = runtime.NumCPU()
+	rep.Env.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	capT := metrics.NewTable("backend", "capacity(rps)", "p99(us)")
+	sweepT := metrics.NewTable("backend", "level", "offered", "ok/s", "429", "503", "p50(us)", "p99(us)", "p999(us)")
+	conc := 4 * runtime.GOMAXPROCS(0)
+	for _, b := range serveBackends {
+		url, stop, err := startServeBackend(b.opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		// Calibration: closed loop, with a short discarded warmup.
+		warm := loadgen.Config{URL: url, Kind: "spin", N: serveSpinN, Mode: "closed",
+			Concurrency: conc, Duration: *serveDurFlag / 4}
+		if _, err := loadgen.Run(warm); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		calib := warm
+		calib.Duration = *serveDurFlag
+		cres, err := loadgen.Run(calib)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		capacity := cres.Throughput
+		rep.Capacity = append(rep.Capacity, serveCapacity{
+			Backend: b.name, CapacityRPS: capacity, Concurrency: conc, P99Ns: cres.Latency.P99,
+		})
+		capT.AddRow(b.name, capacity, float64(cres.Latency.P99)/1e3)
+
+		// Open-loop sweep relative to the calibrated capacity.
+		for _, level := range rep.Config.Levels {
+			// In-flight is bounded at 1024: enough outstanding requests to
+			// keep the tenant queue saturated at overload (the 429 path),
+			// small enough that one process holding both conn ends stays
+			// far from the fd limit across the whole sweep.
+			lres, err := loadgen.Run(loadgen.Config{
+				URL: url, Kind: "spin", N: serveSpinN, Mode: "open",
+				Rate: level * capacity, Duration: *serveDurFlag,
+				MaxInFlight: 1024,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+			name := fmt.Sprintf("%.1fC", level)
+			rep.Sweep = append(rep.Sweep, serveCell{
+				Backend: b.name, Level: name, OfferedRPS: lres.Offered, OkRPS: lres.Throughput,
+				Sent: lres.Sent, OK: lres.OK, Busy: lres.Busy, Drain: lres.Drain,
+				Errors: lres.BadStatus + lres.NetErr, Shed: lres.Shed,
+				P50Ns: lres.Latency.P50, P99Ns: lres.Latency.P99,
+				P999Ns: lres.Latency.P999, MaxNs: lres.Latency.Max,
+			})
+			sweepT.AddRow(b.name, name, lres.Offered, lres.Throughput, lres.Busy, lres.Drain,
+				float64(lres.Latency.P50)/1e3, float64(lres.Latency.P99)/1e3,
+				float64(lres.Latency.P999)/1e3)
+		}
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: drain:", err)
+			os.Exit(1)
+		}
+	}
+	o.emit("SERVE: closed-loop capacity calibration", capT)
+	o.emit("SERVE: open-loop sweep (0.5C / 0.9C / 1.5C; overload must show 429s, not runaway latency)", sweepT)
+
+	// Fault certification: the randomized lifetimes of serve/stress.
+	fault := serveFault{Runs: *serveCertFlag}
+	for i := 0; i < *serveCertFlag; i++ {
+		st, err := servestress.Run(servestress.Config{Seed: 1 + uint64(i)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: fault run %d (seed %d): %v\n", i, 1+i, err)
+			os.Exit(1)
+		}
+		fault.Requests += st.Requests
+		fault.Completed += st.Completed
+		fault.Busy += st.Busy
+		fault.Drain += st.Drain
+		if st.Killed {
+			fault.Killed++
+		}
+	}
+	fault.Certified = true
+	rep.Fault = fault
+	faultT := metrics.NewTable("runs", "requests", "completed", "429", "503", "killed", "certified")
+	faultT.AddRow(fault.Runs, fault.Requests, fault.Completed, fault.Busy, fault.Drain,
+		fault.Killed, fmt.Sprintf("%v", fault.Certified))
+	o.emit("SERVE: randomized fault certification (exactly-once + zero-lost-response + conservation)", faultT)
+
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonFlag, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", *jsonFlag)
+	}
+}

@@ -1,0 +1,100 @@
+// Command dequeload offers HTTP load against a dequeserve instance (or
+// anything mounting serve.Server) and reports outcome counts and
+// end-to-end latency quantiles.
+//
+// Two load models:
+//
+//	-mode closed  N clients back to back — measures sustainable capacity
+//	-mode open    fixed arrival rate — measures behaviour under a load
+//	              the server doesn't control; overload shows up as 429s
+//	              and bounded latency rather than unbounded queueing
+//
+// Examples:
+//
+//	dequeload -url http://127.0.0.1:8080/jobs -mode closed -conc 32 -duration 10s
+//	dequeload -url http://127.0.0.1:8080/jobs -mode open -rate 5000 \
+//	    -tenants gold:3,free:1 -kind spin -n 20000 -duration 10s -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcasdeque/internal/loadgen"
+)
+
+var (
+	urlFlag      = flag.String("url", "http://127.0.0.1:8080/jobs", "job endpoint")
+	modeFlag     = flag.String("mode", "closed", "load model: closed or open")
+	concFlag     = flag.Int("conc", 8, "closed-loop client count")
+	rateFlag     = flag.Float64("rate", 0, "open-loop arrival rate (requests/second)")
+	inflightFlag = flag.Int("max-inflight", 4096, "open-loop outstanding-request bound (past it, arrivals are shed client-side)")
+	durationFlag = flag.Duration("duration", 5*time.Second, "how long to offer load")
+	timeoutFlag  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	tenantsFlag  = flag.String("tenants", "", "traffic mix as name:share,... (empty = no X-Tenant header)")
+	kindFlag     = flag.String("kind", "fib", "job kind: fib, spin, or echo")
+	nFlag        = flag.Int("n", 30, "job size parameter")
+	dataFlag     = flag.String("data", "", "job data (echo kind)")
+	verifyFlag   = flag.Bool("verify", true, "verify fib results end to end")
+	jsonFlag     = flag.Bool("json", false, "emit the result as JSON")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("dequeload: ")
+	log.SetFlags(0)
+
+	cfg := loadgen.Config{
+		URL:         *urlFlag,
+		Kind:        *kindFlag,
+		N:           *nFlag,
+		Data:        *dataFlag,
+		Mode:        *modeFlag,
+		Concurrency: *concFlag,
+		Rate:        *rateFlag,
+		MaxInFlight: *inflightFlag,
+		Duration:    *durationFlag,
+		Timeout:     *timeoutFlag,
+		Verify:      *verifyFlag,
+	}
+	for _, part := range strings.Split(*tenantsFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		share := 1
+		if len(fields) == 2 {
+			var err error
+			if share, err = strconv.Atoi(fields[1]); err != nil || share < 1 {
+				log.Fatalf("bad tenant share in %q", part)
+			}
+		} else if len(fields) != 1 {
+			log.Fatalf("bad tenant %q (want name or name:share)", part)
+		}
+		cfg.Tenants = append(cfg.Tenants, loadgen.Tenant{Name: fields[0], Share: share})
+	}
+
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(res.String())
+	}
+	if res.Mismatch > 0 {
+		log.Fatalf("%d result mismatches — server returned wrong answers", res.Mismatch)
+	}
+}

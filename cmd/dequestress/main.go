@@ -160,6 +160,9 @@ func main() {
 	if *schedFlag {
 		os.Exit(schedStress())
 	}
+	if *serveFlag {
+		os.Exit(serveStress())
+	}
 	failed := false
 	for _, t := range targets() {
 		if *implFlag != "all" && *implFlag != t.name {

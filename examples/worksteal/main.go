@@ -41,7 +41,6 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
-	_ "net/http/pprof" // -listen mode: profiles under /debug/pprof
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +48,7 @@ import (
 
 	"dcasdeque/deque"
 	"dcasdeque/sched"
+	"dcasdeque/serve"
 )
 
 var (
@@ -84,7 +84,7 @@ func main() {
 	)
 
 	if *listenFlag != "" {
-		serve(s, *listenFlag, depth)
+		serveLoop(s, *listenFlag, depth)
 		return // unreachable: serve loops forever
 	}
 
@@ -200,16 +200,15 @@ func okStr(ok bool) string {
 	return "MISMATCH"
 }
 
-// serve mounts the observability endpoints and re-runs the tree sum
+// serveLoop mounts the observability endpoints and re-runs the tree sum
 // forever, so a dashboard pointed at the process sees live counters and
-// latency quantiles.  pprof's handlers are on http.DefaultServeMux via
-// the blank import; mounting our handlers there too keeps one mux.
-func serve(s *sched.Scheduler, addr string, depth int) {
-	http.Handle("/telemetry", deque.TelemetryHandler())
-	http.Handle("/metrics", deque.PrometheusHandler())
+// latency quantiles.  The endpoint wiring (/telemetry, /metrics,
+// /debug/pprof) is the shared serve.ExpositionMux — the same surface
+// dequeserve mounts.
+func serveLoop(s *sched.Scheduler, addr string, depth int) {
 	go func() {
 		log.Printf("serving /telemetry, /metrics, /debug/pprof on %s", addr)
-		log.Fatal(http.ListenAndServe(addr, nil))
+		log.Fatal(http.ListenAndServe(addr, serve.ExpositionMux()))
 	}()
 	for round := uint64(1); ; round++ {
 		var wg sync.WaitGroup

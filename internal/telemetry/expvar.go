@@ -28,6 +28,7 @@ type entry struct {
 	dcas  *dcas.Stats
 	mem   func() MemSnapshot
 	sched *SchedSink
+	serve *ServeSink
 }
 
 var (
@@ -102,6 +103,10 @@ func snapshotAll() map[string]exportEntry {
 			sn := e.sched.Snapshot()
 			ee.Sched = &sn
 		}
+		if e.serve != nil {
+			sn := e.serve.Snapshot()
+			ee.Serve = &sn
+		}
 		out[n] = ee
 	}
 	return out
@@ -115,6 +120,7 @@ type exportEntry struct {
 	DCAS      *dcas.Snapshot `json:"dcas,omitempty"`
 	Mem       *MemSnapshot   `json:"mem,omitempty"`
 	Sched     *SchedSnapshot `json:"sched,omitempty"`
+	Serve     *ServeSnapshot `json:"serve,omitempty"`
 }
 
 // exportAll is the expvar.Func body: a map of deque name to snapshot,
@@ -197,6 +203,19 @@ func WriteText(b *strings.Builder) {
 				for k := SchedLatency(0); k < NumSchedLatencies; k++ {
 					writeHistText(b, fmt.Sprintf("%s.sched.lat.%v", n, k), l.Get(k))
 				}
+			}
+		}
+		if e.Serve != nil {
+			for c := ServeCounter(0); c < NumServeCounters; c++ {
+				fmt.Fprintf(b, "%s.serve.total.%v %d\n", n, c, e.Serve.Total.get(c))
+			}
+			for _, tc := range e.Serve.Tenants {
+				for c := ServeCounter(0); c < NumServeCounters; c++ {
+					fmt.Fprintf(b, "%s.serve.tenant.%s.%v %d\n", n, tc.Tenant, c, tc.get(c))
+				}
+			}
+			for st := ServeStage(0); st < NumServeStages; st++ {
+				writeHistText(b, fmt.Sprintf("%s.serve.lat.%v", n, st), e.Serve.Stages.Get(st))
 			}
 		}
 		if e.DCAS != nil {

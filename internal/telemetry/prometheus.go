@@ -78,6 +78,12 @@ func WritePrometheus(b *strings.Builder) {
 		help: "Scheduler task-lifecycle latencies (submit->run, steal->run, park->wake).", typ: "histogram"}
 	schedQ := &promFamily{name: "dcasdeque_sched_latency_quantile_seconds",
 		help: "Pre-computed scheduler lifecycle latency quantiles.", typ: "gauge"}
+	serveF := &promFamily{name: "dcasdeque_serve_requests_total",
+		help: "Job-service admission outcomes by tenant.", typ: "counter"}
+	serveLat := &promFamily{name: "dcasdeque_serve_stage_latency_seconds",
+		help: "Job-service request-stage latencies (ingest, submit, run, respond).", typ: "histogram"}
+	serveQ := &promFamily{name: "dcasdeque_serve_stage_latency_quantile_seconds",
+		help: "Pre-computed job-service stage latency quantiles.", typ: "gauge"}
 
 	for _, n := range names {
 		e := all[n]
@@ -127,9 +133,22 @@ func WritePrometheus(b *strings.Builder) {
 				}
 			}
 		}
+		if e.Serve != nil {
+			for _, tc := range e.Serve.Tenants {
+				for c := ServeCounter(0); c < NumServeCounters; c++ {
+					serveF.addf("%s{server=%q,tenant=%q,outcome=%q} %d",
+						serveF.name, n, tc.Tenant, c.String(), tc.get(c))
+				}
+			}
+			for st := ServeStage(0); st < NumServeStages; st++ {
+				labels := fmt.Sprintf("server=%q,stage=%q", n, st.String())
+				promHistogram(serveLat, labels, e.Serve.Stages.Get(st))
+				promQuantiles(serveQ, labels, e.Serve.Stages.Get(st))
+			}
+		}
 	}
 
-	for _, f := range []*promFamily{ops, ref, dcasF, opLat, spinLat, opQ, schedF, schedLat, schedQ} {
+	for _, f := range []*promFamily{ops, ref, dcasF, opLat, spinLat, opQ, schedF, schedLat, schedQ, serveF, serveLat, serveQ} {
 		if len(f.samples) == 0 {
 			continue
 		}

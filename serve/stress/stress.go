@@ -1,0 +1,271 @@
+// Package stress is the job service's randomized fault harness — the
+// serve counterpart of sched/stress.  One Run is one server lifetime
+// with every knob randomized from the seed: tenant set (count, weights,
+// queue depths), scheduler shape (workers, backend, injector capacity),
+// client mix (count, per-client request volume, tenant bursts), client
+// misbehaviour (request-context cancellation — the abandoning reader),
+// and a mid-load Shutdown whose drain deadline is sometimes generous
+// and sometimes already hopeless.
+//
+// It certifies the three properties the serving layer promises:
+//
+//   - Exactly-once execution: after full drain, the scheduler's run
+//     count equals the admission layer's accepted count — every
+//     accepted job ran exactly once, including jobs whose clients were
+//     released by a drain deadline or walked away mid-wait.
+//   - Zero lost responses: every client call returns within the
+//     watchdog (no stranded waiter), completed responses carry the
+//     deterministically correct result for their request (no
+//     cross-wired replies), and the client-observed completion count
+//     equals the server's completed counter exactly.
+//   - Conservation: received == accepted + rejected-busy +
+//     rejected-drain and accepted == completed + abandoned, per tenant
+//     and in total.
+package stress
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcasdeque/sched"
+	"dcasdeque/serve"
+)
+
+// Config parameterizes Run.  Only the seed is required.
+type Config struct {
+	// Seed drives all randomization; equal seeds give equal scenarios.
+	Seed uint64
+	// Timeout is the stranded-waiter watchdog per run (default 30s).
+	Timeout time.Duration
+}
+
+// Stats describes the scenario one Run executed.
+type Stats struct {
+	Tenants   int
+	Workers   int
+	Backend   string
+	Clients   int
+	Requests  uint64 // client calls issued
+	Completed uint64 // 200s observed by clients
+	Busy      uint64 // 429s
+	Drain     uint64 // 503s
+	Burst     bool   // all clients aimed at one tenant
+	Killed    bool   // the drain deadline expired before quiescence
+}
+
+var backends = []struct {
+	name string
+	opt  sched.Option
+}{
+	{"chaselev", sched.WithChaseLev()},
+	{"array", sched.WithArrayDeques()},
+}
+
+// fib mirrors the serve package's deterministic fib job, so responses
+// are verifiable without trusting the server.
+func fib(n int) uint64 {
+	var a, b uint64 = 0, 1
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Run executes one randomized server lifetime and verifies the
+// exactly-once, zero-lost-response, and conservation properties; a nil
+// error certifies all three for this scenario.
+func Run(cfg Config) (Stats, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5e12e))
+
+	st := Stats{
+		Tenants: 1 + rng.IntN(3),
+		Workers: 1 + rng.IntN(4),
+		Backend: backends[rng.IntN(len(backends))].name,
+		Clients: 2 + rng.IntN(8),
+		Burst:   rng.IntN(3) == 0,
+	}
+	var tenants []serve.TenantConfig
+	for i := 0; i < st.Tenants; i++ {
+		tenants = append(tenants, serve.TenantConfig{
+			Name:     fmt.Sprintf("t%d", i),
+			Weight:   1 + rng.IntN(4),
+			QueueCap: 1 + rng.IntN(32), // small on purpose: 429 paths must conserve too
+		})
+	}
+	var backendOpt sched.Option
+	for _, b := range backends {
+		if b.name == st.Backend {
+			backendOpt = b.opt
+		}
+	}
+	s := serve.New(
+		serve.WithTenants(tenants...),
+		serve.WithSchedOptions(
+			backendOpt,
+			sched.WithWorkers(st.Workers),
+			sched.WithInjectorCapacity(1+rng.IntN(32)),
+			sched.WithTelemetry(), // run counts for the exactly-once check
+		),
+	)
+
+	var (
+		requests, ok200, busy429, drain503, abandoned atomic.Uint64
+		verifyErr                                     atomic.Pointer[string]
+		wg                                            sync.WaitGroup
+	)
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		verifyErr.CompareAndSwap(nil, &msg)
+	}
+
+	perClient := 1 + rng.IntN(40)
+	cancelPermille := rng.IntN(200) // up to 20% of requests abandon mid-wait
+	fibN := 5 + rng.IntN(20)
+	wantFib := fib(fibN)
+
+	for c := 0; c < st.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewPCG(cfg.Seed, uint64(c)+1))
+			for i := 0; i < perClient; i++ {
+				tenant := tenants[crng.IntN(len(tenants))].Name
+				if st.Burst {
+					tenant = tenants[0].Name
+				}
+				echo := crng.IntN(2) == 1
+				var body string
+				wantData := ""
+				if echo {
+					wantData = fmt.Sprintf("c%d-r%d", c, i)
+					body = fmt.Sprintf(`{"kind":"echo","data":%q}`, wantData)
+				} else {
+					body = fmt.Sprintf(`{"kind":"fib","n":%d}`, fibN)
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if crng.IntN(1000) < cancelPermille {
+					// The abandoning reader: walk away shortly after asking.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(crng.IntN(500))*time.Microsecond)
+				}
+				req := httptest.NewRequest("POST", "/jobs", strings.NewReader(body)).WithContext(ctx)
+				req.Header.Set("X-Tenant", tenant)
+				rr := httptest.NewRecorder()
+				requests.Add(1)
+				s.ServeHTTP(rr, req)
+				cancel()
+				switch {
+				case rr.Code == 200 && rr.Body.Len() > 0:
+					var resp serve.JobResponse
+					if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+						fail("client %d req %d: bad response body %q: %v", c, i, rr.Body.String(), err)
+						return
+					}
+					if echo {
+						if resp.Data != wantData {
+							fail("client %d req %d: cross-wired response: echo %q returned %q",
+								c, i, wantData, resp.Data)
+							return
+						}
+					} else if resp.Result != wantFib {
+						fail("client %d req %d: fib(%d) = %d, want %d", c, i, fibN, resp.Result, wantFib)
+						return
+					}
+					ok200.Add(1)
+				case rr.Code == 200:
+					// Handler wrote nothing: the request's context fired while
+					// waiting — the abandoned path.
+					abandoned.Add(1)
+				case rr.Code == 429:
+					if rr.Header().Get("Retry-After") == "" {
+						fail("client %d req %d: 429 without Retry-After", c, i)
+						return
+					}
+					busy429.Add(1)
+				case rr.Code == 503:
+					drain503.Add(1)
+				default:
+					fail("client %d req %d: unexpected status %d %q", c, i, rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Mid-load shutdown: after a random slice of the traffic, drain with
+	// a deadline that is sometimes generous and sometimes already
+	// hopeless (exercising the killed-waiter release).
+	time.Sleep(time.Duration(rng.IntN(2000)) * time.Microsecond)
+	deadline := time.Duration(rng.IntN(3)) * time.Millisecond // 0 → instant expiry sometimes
+	if rng.IntN(2) == 0 {
+		deadline = cfg.Timeout
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), deadline)
+	if err := s.Shutdown(dctx); err != nil {
+		st.Killed = true
+	}
+	dcancel()
+
+	// The watchdog: every client must return, drained or killed.
+	joined := make(chan struct{})
+	go func() { wg.Wait(); close(joined) }()
+	select {
+	case <-joined:
+	case <-time.After(cfg.Timeout):
+		return st, fmt.Errorf("stranded waiter: clients still blocked %v after shutdown", cfg.Timeout)
+	}
+	// Wait out the background drain so the exactly-once count is final.
+	wctx, wcancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer wcancel()
+	if err := s.Shutdown(wctx); err != nil {
+		return st, fmt.Errorf("drain never quiesced: %v", err)
+	}
+
+	if msg := verifyErr.Load(); msg != nil {
+		return st, fmt.Errorf("%s", *msg)
+	}
+	st.Requests = requests.Load()
+	st.Completed = ok200.Load()
+	st.Busy = busy429.Load()
+	st.Drain = drain503.Load()
+
+	// A post-drain probe must be refused cleanly, and its refusal must
+	// itself be counted (conservation includes the drain window).
+	probe := httptest.NewRecorder()
+	s.ServeHTTP(probe, httptest.NewRequest("POST", "/jobs", strings.NewReader(`{"kind":"fib","n":1}`)))
+	if probe.Code != 503 {
+		return st, fmt.Errorf("post-drain probe: status %d, want 503", probe.Code)
+	}
+
+	sst := s.Stats()
+	if ok, tenant := sst.Conserved(); !ok {
+		return st, fmt.Errorf("conservation violated (tenant %q): %+v", tenant, sst)
+	}
+	// Zero lost responses: the clients' 200 count is the server's
+	// completed count, exactly.
+	if sst.Total.Completed != st.Completed {
+		return st, fmt.Errorf("lost responses: server completed %d, clients observed %d",
+			sst.Total.Completed, st.Completed)
+	}
+	// Exactly-once: every accepted job ran exactly once on the
+	// scheduler, including jobs whose waiters were killed or walked.
+	schedStats, ok := s.Scheduler().Stats()
+	if !ok {
+		return st, fmt.Errorf("scheduler telemetry missing")
+	}
+	if schedStats.Total.Runs != sst.Total.Accepted {
+		return st, fmt.Errorf("exactly-once violated: accepted %d jobs, scheduler ran %d",
+			sst.Total.Accepted, schedStats.Total.Runs)
+	}
+	return st, nil
+}

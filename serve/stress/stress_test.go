@@ -1,0 +1,19 @@
+package stress
+
+import "testing"
+
+// TestRandomizedRuns executes a batch of randomized server lifetimes —
+// the same harness dequestress -serve scales to thousands of runs.
+func TestRandomizedRuns(t *testing.T) {
+	runs := 60
+	if testing.Short() {
+		runs = 10
+	}
+	for seed := uint64(1); seed <= uint64(runs); seed++ {
+		st, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d (%d tenants, %d workers, %s backend, %d clients): %v",
+				seed, st.Tenants, st.Workers, st.Backend, st.Clients, err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package serve
+
+import "dcasdeque/deque"
+
+// tenant is one admission lane: a bounded MPMC ingestion queue
+// (handlers PushRight, the pump PopLefts — FIFO) plus its round-robin
+// weight.  The queue is a DCAS array deque, the same bounded-deque
+// substrate the scheduler's injector uses, so tenant isolation costs
+// no locks.
+type tenant struct {
+	idx    int
+	name   string
+	weight int
+	queue  deque.Deque[*pending]
+}
+
+// pending is one admitted request in flight between the HTTP handler
+// and a scheduler worker.  The handler owns the wait; the worker owns
+// the single send.
+type pending struct {
+	job   Job
+	t     *tenant
+	enqNs int64 // admission timestamp (metrics.Nanotime)
+	subNs int64 // scheduler-accept timestamp, stamped by the pump
+	done  chan result
+}
+
+// result is what the worker delivers: the job's output and the run
+// timing the respond stage is measured from.
+type result struct {
+	value  uint64
+	data   string
+	worker int
+	runNs  int64
+	doneNs int64
+	err    error
+}
